@@ -1,0 +1,44 @@
+"""Benchmarks: the four design-choice ablations from DESIGN.md §5."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import ablations
+
+
+def bench_ablation_fd(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: ablations.run_fd(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    for ds in ("movies", "pdmx", "beer"):
+        assert out.metrics[f"{ds}.phc_with"] >= out.metrics[f"{ds}.phc_without"] - 1, ds
+
+
+def bench_ablation_early_stop(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: ablations.run_early_stop(scale=repro_scale, seed=repro_seed)
+    )
+    print("\n" + out.render())
+    # The paper's (4,2) must capture the bulk of the deep-recursion PHC.
+    deep = out.metrics["pdmx.phc@16,8"]
+    assert out.metrics["pdmx.phc@4,2"] >= 0.9 * deep
+
+
+def bench_ablation_fixed_orders(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: ablations.run_fixed_orders(scale=repro_scale, seed=repro_seed)
+    )
+    print("\n" + out.render())
+    for ds in ("movies", "products"):
+        assert out.metrics[f"{ds}.ggr"] >= out.metrics[f"{ds}.original"], ds
+        assert out.metrics[f"{ds}.fixed_stats"] >= out.metrics[f"{ds}.sorted"], ds
+
+
+def bench_ablation_memory(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: ablations.run_memory(scale=repro_scale, seed=repro_seed)
+    )
+    print("\n" + out.render())
+    # The unordered baseline's hit rate grows with cache size; GGR's is
+    # adjacency-driven and stays put.
+    assert out.metrics["orig_phr@4.0"] >= out.metrics["orig_phr@0.25"]
+    ggr_spread = abs(out.metrics["ggr_phr@4.0"] - out.metrics["ggr_phr@0.25"])
+    orig_spread = out.metrics["orig_phr@4.0"] - out.metrics["orig_phr@0.25"]
+    assert ggr_spread <= orig_spread + 0.02

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the core primitives (solver, PHC, radix cache,
+tokenizer) — these are the pieces whose performance the library's users
+actually feel, so regressions here matter independent of the experiment
+reports."""
+
+import random
+
+from repro.bench.experiments.base import dataset
+from repro.core.ggr import GGRConfig, ggr
+from repro.core.phc import phc
+from repro.core.reorder import reorder
+from repro.llm.radix import RadixPrefixCache
+from repro.llm.tokenizer import HashTokenizer
+
+
+def bench_ggr_movies(benchmark, repro_scale, repro_seed):
+    ds = dataset("movies", repro_scale, repro_seed)
+    rt = ds.table.to_reorder_table()
+    est, sched, _ = benchmark(lambda: ggr(rt, fds=ds.fds))
+    assert phc(sched) > 0
+
+
+def bench_ggr_pdmx_wide(benchmark, repro_scale, repro_seed):
+    ds = dataset("pdmx", repro_scale, repro_seed)
+    rt = ds.table.to_reorder_table()
+    est, sched, _ = benchmark(lambda: ggr(rt, fds=ds.fds))
+    assert phc(sched) > 0
+
+
+def bench_phc_evaluation(benchmark, repro_scale, repro_seed):
+    ds = dataset("products", repro_scale, repro_seed)
+    sched = reorder(ds.table.to_reorder_table(), "ggr", fds=ds.fds).schedule
+    total = benchmark(lambda: phc(sched))
+    assert total > 0
+
+
+def bench_radix_insert_match(benchmark):
+    rng = random.Random(0)
+    base = [rng.randrange(500) for _ in range(400)]
+    prompts = []
+    for _ in range(200):
+        p = list(base[: rng.randrange(100, 400)])
+        p.extend(rng.randrange(500) for _ in range(50))
+        prompts.append(p)
+
+    def work():
+        cache = RadixPrefixCache()
+        hits = 0
+        for p in prompts:
+            hits += cache.match(p)
+            cache.insert(p)
+        return hits
+
+    hits = benchmark(work)
+    assert hits > 0
+
+
+def bench_tokenizer_throughput(benchmark):
+    tok = HashTokenizer()
+    text = " ".join(f"word{i % 97} piece" for i in range(5000))
+
+    n = benchmark(lambda: len(tok.encode(text)))
+    assert n > 5000

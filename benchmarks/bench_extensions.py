@@ -1,0 +1,25 @@
+"""Benchmarks: partition-parallel GGR and local-search refinement."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import extensions
+
+
+def bench_ext_partitioned(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: extensions.run_partitioned(scale=repro_scale, seed=repro_seed)
+    )
+    print("\n" + out.render())
+    for name in ("movies", "beer"):
+        # Clustering must beat round-robin and retain most of the PHC.
+        assert out.metrics[f"{name}.clustered@4"] >= out.metrics[f"{name}.round_robin@4"], name
+        assert out.metrics[f"{name}.clustered@8"] > 0.7, name
+
+
+def bench_ext_refine(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: extensions.run_refine(scale=repro_scale, seed=repro_seed)
+    )
+    print("\n" + out.render())
+    for name in ("movies", "pdmx", "beer"):
+        assert out.metrics[f"{name}.gain"] >= 0.0, name
+        assert out.metrics[f"{name}.phc_after"] >= out.metrics[f"{name}.phc_before"], name

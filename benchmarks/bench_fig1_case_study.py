@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 1 (fixed-field-ordering case study)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig1
+
+
+def bench_fig1(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: fig1.run(n=32, m=8, x=10))
+    print("\n" + out.render())
+    assert out.metrics["fig1a.identity"] == 0
+    assert out.metrics["fig1a.ggr"] == out.metrics["fig1a.theory"]
+    assert abs(out.metrics["fig1b.gap"] - 3.0) < 1e-9  # exactly m-fold

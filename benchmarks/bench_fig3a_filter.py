@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 3a (filter-query runtimes, 3 policies)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig3
+
+
+def bench_fig3a(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: fig3.run_fig3a(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    # Shape claims: GGR fastest everywhere; big gains on join datasets.
+    for ds in ("movies", "products", "bird", "pdmx", "beer"):
+        assert out.metrics[f"{ds}-T1.speedup_vs_nocache"] > 1.3, ds
+        assert out.metrics[f"{ds}-T1.speedup_vs_original"] >= 0.95, ds
+    assert out.metrics["movies-T1.speedup_vs_original"] > 1.8
+    assert out.metrics["bird-T1.speedup_vs_original"] > 1.5

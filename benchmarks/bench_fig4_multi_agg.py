@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig 4 (multi-LLM invocation + aggregation)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig4
+
+
+def bench_fig4(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: fig4.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    for qid in ("movies-T3", "products-T3", "movies-T4", "products-T4"):
+        assert out.metrics[f"{qid}.speedup_vs_nocache"] > 1.3, qid
+        assert out.metrics[f"{qid}.speedup_vs_original"] >= 0.95, qid
+    # Aggregation (short outputs) gains more than multi-invocation, whose
+    # first stage runs over distinct review text (paper §6.2).
+    assert (
+        out.metrics["movies-T4.speedup_vs_original"]
+        > out.metrics["movies-T3.speedup_vs_original"]
+    )
+    assert out.metrics["movies-T3.n_llm_calls"] == 2

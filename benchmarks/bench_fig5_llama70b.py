@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 5 (Llama-3-70B filter queries on 8xL4)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig5
+
+
+def bench_fig5(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: fig5.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    for ds in ("movies", "products", "bird", "pdmx", "beer"):
+        assert out.metrics[f"{ds}-T1.speedup"] >= 0.95, ds
+    assert out.metrics["movies-T1.speedup"] > 1.8
+    assert out.metrics["pdmx-T1.speedup"] > 1.3

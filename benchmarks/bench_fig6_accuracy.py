@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig 6 (accuracy, original vs GGR, bootstrap)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import fig6
+
+
+def bench_fig6(benchmark, repro_scale, repro_seed):
+    out = run_once(
+        benchmark, lambda: fig6.run(scale=repro_scale, seed=repro_seed, n_boot=10_000)
+    )
+    print("\n" + out.render())
+    # Headline claim: GGR is accuracy-neutral (within ~5%) everywhere
+    # except FEVER on Llama-3-8B, where it *helps* by >10%.
+    assert out.metrics["llama3-8b.fever.delta"] > 0.10
+    for judge in ("llama3-70b", "gpt-4o"):
+        assert abs(out.metrics[f"{judge}.fever.delta"]) < 0.06, judge
+    within = [
+        abs(out.metrics[f"{judge}.{ds}.delta"]) <= 0.08
+        for judge in ("llama3-8b", "llama3-70b", "gpt-4o")
+        for ds in ("movies", "products", "bird", "pdmx", "beer")
+    ]
+    assert sum(within) >= 13

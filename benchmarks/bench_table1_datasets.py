@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (dataset statistics)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table1
+
+
+def bench_table1(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table1.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    assert out.metrics["movies.fields"] == 8
+    assert out.metrics["pdmx.fields"] >= 57
+    for name in ("movies", "products", "bird", "pdmx", "beer", "fever", "squad"):
+        measured = out.metrics[f"{name}.input_avg"]
+        paper = out.metrics[f"{name}.paper_input_avg"]
+        assert 0.6 * paper <= measured <= 1.6 * paper, name

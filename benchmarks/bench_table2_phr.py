@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 2 (prefix hit rates, Original vs GGR)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table2
+
+
+def bench_table2(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table2.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    for ds in ("movies", "products", "bird", "pdmx", "beer", "fever", "squad"):
+        assert out.metrics[f"{ds}.ggr_phr"] >= out.metrics[f"{ds}.original_phr"], ds
+    # Join-heavy datasets gain tens of points (paper: 30-75 pp).
+    for ds in ("movies", "products", "bird", "pdmx"):
+        uplift = out.metrics[f"{ds}.ggr_phr"] - out.metrics[f"{ds}.original_phr"]
+        assert uplift > 0.25, ds
+    # PDMX stays the lowest GGR hit rate (long unique text, paper 57%).
+    assert out.metrics["pdmx.ggr_phr"] < out.metrics["movies.ggr_phr"]

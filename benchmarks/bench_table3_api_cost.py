@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 3 (OpenAI/Anthropic API costs on FEVER)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table3
+
+
+def bench_table3(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table3.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    # Paper: 32% savings on GPT-4o-mini, 21% on Claude 3.5 Sonnet.
+    assert 0.15 < out.metrics["openai.savings"] < 0.55
+    assert 0.05 < out.metrics["anthropic.savings"] < 0.45
+    # Original ordering cannot clear the 1024-token caching minimum.
+    assert out.metrics["openai.original_phr"] < 0.05
+    assert out.metrics["openai.ggr_phr"] > 0.4

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (estimated savings from measured PHR)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table4
+
+
+def bench_table4(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table4.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    for ds in ("movies", "products", "bird", "pdmx", "fever", "squad"):
+        oa = out.metrics[f"{ds}.openai_savings"]
+        an = out.metrics[f"{ds}.anthropic_savings"]
+        assert 0.0 < oa < 0.5, ds          # paper band: 20-39%
+        assert an > oa, ds                 # Anthropic's 10% read rate
+    assert out.metrics["bird.openai_savings"] > 0.2

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 5 (GGR solver time per dataset).
+
+This one also times the solver *directly* with pytest-benchmark on the
+largest dataset (Beer) so regressions in GGR itself show up in the
+benchmark stats, not just in the experiment report.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table5
+from repro.bench.experiments.base import dataset
+from repro.core.reorder import reorder
+
+
+def bench_table5(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table5.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    # The paper's bound: solver stays in seconds even at full scale.
+    budget = max(2.0, 20.0 * repro_scale)
+    for ds in ("movies", "products", "bird", "pdmx", "beer", "fever", "squad"):
+        assert out.metrics[f"{ds}.solver_seconds"] < budget, ds
+
+
+def bench_ggr_solver_beer(benchmark, repro_scale, repro_seed):
+    ds = dataset("beer", repro_scale, repro_seed)
+    rt = ds.table.to_reorder_table()
+    result = benchmark(lambda: reorder(rt, "ggr", fds=ds.fds))
+    assert result.exact_phc > 0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 6 / Appendix D.1 (GGR vs the OPHR oracle)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import table6
+
+
+def bench_table6(benchmark, repro_scale, repro_seed):
+    out = run_once(benchmark, lambda: table6.run(scale=repro_scale, seed=repro_seed))
+    print("\n" + out.render())
+    solved = 0
+    for ds in ("movies", "products", "bird", "pdmx", "fever", "beer", "squad"):
+        if f"{ds}.ophr_phr" not in out.metrics:
+            continue
+        solved += 1
+        # The oracle dominates; GGR lands close (paper: within ~2 pp).
+        assert out.metrics[f"{ds}.ophr_phr"] >= out.metrics[f"{ds}.ggr_phr"] - 1e-9
+        assert out.metrics[f"{ds}.ggr_seconds"] <= out.metrics[f"{ds}.ophr_seconds"] + 0.05
+    assert solved >= 5  # a couple of OPHR timeouts are tolerable

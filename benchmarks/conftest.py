@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+``REPRO_SCALE`` controls dataset sizes (default 0.02 keeps a full
+``pytest benchmarks/ --benchmark-only`` run in minutes; 1.0 reproduces
+the paper's sizes). Every benchmark prints the experiment's report table,
+so run with ``-s`` to see the paper-vs-measured rows.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repro_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def repro_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer (the
+    experiments are deterministic; repeated rounds only re-measure the
+    same arithmetic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

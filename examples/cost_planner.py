@@ -1,0 +1,76 @@
+"""Estimate proprietary-API spend for a reordered batch job (§6.3).
+
+Run:  python examples/cost_planner.py
+
+Given a workload (here: the Products dataset with a classification
+prompt), this prices the job under OpenAI GPT-4o-mini and Anthropic
+Claude 3.5 Sonnet billing — original order vs GGR order — using the
+provider-side cache simulators, and prints the projected savings.
+"""
+
+from repro.bench.queries import FILTER_PROMPTS
+from repro.core.reorder import reorder
+from repro.data import build_dataset
+from repro.llm.pricing import (
+    APICacheSimulator,
+    anthropic_claude35_sonnet,
+    cost_of,
+    estimated_savings,
+    openai_gpt4o_mini,
+)
+from repro.llm.prompts import build_prompt
+from repro.llm.tokenizer import HashTokenizer
+
+
+def main() -> None:
+    ds = build_dataset("products", scale=0.01, seed=5)
+    question = FILTER_PROMPTS["products"]
+    tok = HashTokenizer()
+
+    # Both providers require a 1024-token minimum prefix before anything is
+    # cached; following the paper's §6.3 methodology we duplicate each field
+    # value (x6 here) so the shared prefixes clear that bar.
+    base = ds.table.to_reorder_table()
+    table = type(base)(
+        base.fields,
+        [tuple(" ".join([v] * 6) for v in row) for row in base.rows],
+    )
+    schedules = {
+        policy: reorder(table, policy=policy, fds=ds.fds)
+        for policy in ("original", "ggr")
+    }
+
+    for pricing in (openai_gpt4o_mini(), anthropic_claude35_sonnet()):
+        print(f"\n=== {pricing.name} ===")
+        costs = {}
+        for policy, result in schedules.items():
+            sim = APICacheSimulator(pricing)
+            usages = []
+            for row in result.schedule.rows:
+                tokens = tok.encode(build_prompt(question, row.cells))
+                usages.append(sim.process(tokens, output_tokens=3))
+            breakdown = cost_of(usages, pricing)
+            costs[policy] = breakdown.total
+            cached = sum(u.cached_tokens for u in usages)
+            total = sum(u.prompt_tokens for u in usages)
+            print(
+                f"  {policy:>8}: ${breakdown.total:8.4f}  "
+                f"(input ${breakdown.input_side_total:.4f}, "
+                f"output ${breakdown.output_cost:.4f}, "
+                f"cache hits {cached / total if total else 0:.1%})"
+            )
+        saved = 1 - costs["ggr"] / costs["original"]
+        print(f"  GGR saves {saved:.1%} on this job")
+
+    # The closed-form planner (Table 4 style): what if caching had no
+    # minimum-length restriction?
+    print("\nClosed-form estimate at the schedules' hit rates:")
+    orig_phr = schedules["original"].exact_phr
+    ggr_phr = schedules["ggr"].exact_phr
+    for pricing in (openai_gpt4o_mini(), anthropic_claude35_sonnet()):
+        s = estimated_savings(orig_phr, ggr_phr, pricing)
+        print(f"  {pricing.name}: {s:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Bring your own table: mine FDs, pick a policy, measure the win.
+
+Run:  python examples/custom_dataset_fd_mining.py
+
+For a table the catalog knows nothing about, GGR can still discover
+single-attribute functional dependencies from the data itself
+(paper §4.2.1 notes FDs usually come from the schema; the miner covers
+the schemaless case) and exploit them. This example builds a support-
+tickets table, mines its FDs, and compares every built-in policy.
+"""
+
+import random
+
+from repro import ReorderTable, reorder
+from repro.core.fd import mine_fds
+
+TEAMS = {
+    "billing": ("Billing & Payments", "Handles invoices, refunds, and plan changes."),
+    "infra": ("Infrastructure", "Handles outages, latency, and capacity incidents."),
+    "auth": ("Identity & Access", "Handles logins, SSO, and permission escalations."),
+}
+SEVERITIES = ("low", "medium", "high")
+
+
+def make_tickets(n: int = 240, seed: int = 11) -> ReorderTable:
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        team_key = rng.choice(list(TEAMS))
+        team_name, team_desc = TEAMS[team_key]
+        rows.append(
+            (
+                f"TCK-{i:05d}",
+                f"Customer reports issue number {rng.randrange(9999)} with details {rng.random():.6f}",
+                team_key,
+                team_name,
+                team_desc,
+                rng.choice(SEVERITIES),
+            )
+        )
+    return ReorderTable(
+        fields=("ticket_id", "body", "team", "team_name", "team_description", "severity"),
+        rows=rows,
+    )
+
+
+def main() -> None:
+    table = make_tickets()
+
+    fds = mine_fds(table, sample_rows=0)
+    print("Mined functional dependencies:")
+    for a, b in fds.edges():
+        print(f"  {a} -> {b}")
+
+    print("\nPolicy comparison (PHC = squared-length prefix hits, Eq. 1):")
+    for policy in ("original", "sorted", "fixed_stats", "ggr"):
+        result = reorder(table, policy=policy, fds=fds)
+        print(
+            f"  {policy:>12}: PHC {result.exact_phc:10d}   "
+            f"PHR {result.exact_phr:6.1%}   solver {result.solver_seconds * 1000:6.1f} ms"
+        )
+
+    ggr = reorder(table, policy="ggr", fds=fds)
+    report = ggr.ggr_report
+    assert report is not None
+    print("\nGGR diagnostics:")
+    print(f"  recursion steps : {report.recursion_steps}")
+    print(f"  fallback rows   : {report.fallback_rows}")
+    print(f"  first groups    : {report.groups_chosen[:3]}")
+
+
+if __name__ == "__main__":
+    main()

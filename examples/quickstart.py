@@ -1,0 +1,70 @@
+"""Quickstart: reorder a small table and watch the prefix cache win.
+
+Run:  python examples/quickstart.py
+
+This walks the core loop of the paper in ~60 lines:
+1. build a table whose rows share values (a reviews x products join),
+2. reorder it with GGR,
+3. replay both orderings through the simulated vLLM engine,
+4. compare prefix hit rates and job completion times.
+"""
+
+from repro import ReorderTable, phc, reorder
+from repro.core.fd import FunctionalDependencies
+from repro.llm.client import SimulatedLLMClient
+from repro.llm.prompts import build_prompt
+
+
+def make_table() -> ReorderTable:
+    """A toy reviews-join: product fields repeat, review text does not."""
+    products = {
+        "P1": ("Solar Garden Lamp", "A weatherproof lamp that charges by day and glows all night."),
+        "P2": ("Cast Iron Skillet", "Pre-seasoned 12-inch skillet for stovetop, oven, and campfire."),
+        "P3": ("Trail Running Shoes", "Lightweight shoes with a rock plate and grippy outsole."),
+    }
+    reviews = [
+        ("P1", "Love it, my garden finally has mood lighting."),
+        ("P2", "Sears a steak beautifully, heavy but worth it."),
+        ("P1", "Stopped working after one rainy week."),
+        ("P3", "Great grip on wet rocks, sizing runs small."),
+        ("P2", "Arrived rusty, had to re-season twice."),
+        ("P1", "Perfect pathway lights, bought three more."),
+        ("P3", "My toes went numb after ten miles."),
+        ("P2", "The handle gets hot but that's cast iron for you."),
+    ]
+    rows = [
+        (text, asin, products[asin][0], products[asin][1])
+        for asin, text in reviews
+    ]
+    return ReorderTable(
+        fields=("review", "asin", "title", "description"),
+        rows=rows,
+    )
+
+
+def main() -> None:
+    table = make_table()
+    fds = FunctionalDependencies.from_groups([["asin", "title", "description"]])
+
+    original = reorder(table, policy="original")
+    optimized = reorder(table, policy="ggr", fds=fds)
+    print(f"PHC  original={original.exact_phc:6d}   ggr={optimized.exact_phc:6d}")
+    print(f"PHR  original={original.exact_phr:6.1%}   ggr={optimized.exact_phr:6.1%}")
+
+    question = "Does this review sound positive? Answer Yes or No."
+    for name, result in (("original", original), ("ggr", optimized)):
+        client = SimulatedLLMClient()
+        prompts = [build_prompt(question, row.cells) for row in result.schedule.rows]
+        batch = client.generate(prompts, output_lens=[2] * len(prompts))
+        print(
+            f"{name:>8}: engine {batch.total_seconds * 1000:7.1f} ms, "
+            f"measured hit rate {batch.prefix_hit_rate:6.1%}"
+        )
+
+    print("\nFirst three scheduled rows under GGR (note the shared prefix):")
+    for row in optimized.schedule.rows[:3]:
+        print("  " + " | ".join(f"{c.field}={c.value[:28]}" for c in row.cells))
+
+
+if __name__ == "__main__":
+    main()

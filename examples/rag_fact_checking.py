@@ -1,0 +1,53 @@
+"""RAG fact-checking pipeline (the paper's T5 query on FEVER).
+
+Run:  python examples/rag_fact_checking.py
+
+End-to-end: embed a passage corpus, retrieve top-4 evidence per claim,
+build the (claim, evidence1..4) table, and compare original vs GGR
+orderings through the serving simulator. Multiple claims about the same
+topic retrieve the same evidence — GGR turns that into shared prefixes.
+"""
+
+from repro.bench.queries import RAG_PROMPTS
+from repro.core.reorder import reorder
+from repro.data import build_dataset
+from repro.llm.client import SimulatedLLMClient
+from repro.llm.prompts import build_prompt
+from repro.rag import Retriever
+
+
+def main() -> None:
+    # The FEVER builder exposes its corpus + claims so we can drive the
+    # retrieval stack explicitly.
+    ds = build_dataset("fever", scale=0.01, seed=3)
+    assert ds.corpus is not None and ds.questions is not None
+    print(f"corpus: {len(ds.corpus)} passages; claims: {len(ds.questions)}")
+
+    retriever = Retriever(ds.corpus)
+    table = retriever.retrieve_table(
+        ds.questions[:120], k=4, question_field="claim", context_prefix="evidence"
+    )
+    evidence1 = table.column("evidence1")
+    print(f"distinct top-1 evidence passages: {len(set(evidence1))} / {len(evidence1)}")
+
+    question = RAG_PROMPTS["fever"]
+    for policy in ("original", "ggr"):
+        result = reorder(table.to_reorder_table(), policy=policy)
+        client = SimulatedLLMClient()
+        prompts = [build_prompt(question, row.cells) for row in result.schedule.rows]
+        batch = client.generate(prompts, output_lens=[3] * len(prompts))
+        print(
+            f"{policy:>8}: schedule PHR {result.exact_phr:6.1%}  "
+            f"engine PHR {batch.prefix_hit_rate:6.1%}  "
+            f"time {batch.total_seconds:7.2f}s"
+        )
+
+    ggr = reorder(table.to_reorder_table(), policy="ggr")
+    row = ggr.schedule.rows[1]
+    print("\nA GGR-scheduled row (shared evidence first, unique claim last):")
+    for cell in row.cells:
+        print(f"  {cell.field:10s} {cell.value[:60]}...")
+
+
+if __name__ == "__main__":
+    main()

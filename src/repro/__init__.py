@@ -1,0 +1,37 @@
+"""Reproduction of *Optimizing LLM Queries in Relational Data Analytics
+Workloads* (Liu, Biswal, et al., MLSys 2025).
+
+The package implements the paper's request-reordering algorithms (OPHR and
+GGR) together with every substrate the evaluation depends on: a relational
+engine with an ``LLM()`` SQL operator, an LLM serving simulator with
+radix-tree prefix caching and paged KV memory, synthetic versions of the
+seven benchmark datasets, a RAG stack, proprietary-API pricing models, and a
+benchmark harness that regenerates every table and figure in the paper.
+
+Quickstart::
+
+    from repro import reorder, phc
+    from repro.core.table import ReorderTable
+
+    table = ReorderTable(
+        fields=("city", "id", "tier"),
+        rows=[("sf", "a1", "gold"), ("sf", "a2", "gold"), ("la", "b1", "gold")],
+    )
+    result = reorder(table, policy="ggr")
+    print(result.exact_phc, ">=", phc(result.schedule))
+"""
+
+from repro._version import __version__
+from repro.core.phc import phc, phr, prefix_hit_tokens
+from repro.core.reorder import ReorderResult, reorder
+from repro.core.table import ReorderTable
+
+__all__ = [
+    "__version__",
+    "ReorderTable",
+    "ReorderResult",
+    "reorder",
+    "phc",
+    "phr",
+    "prefix_hit_tokens",
+]

@@ -1,0 +1,18 @@
+"""Accuracy evaluation substrate (paper §6.4, Fig. 6).
+
+``judge`` models order-sensitive LLM answer behaviour (real models are not
+available offline — see DESIGN.md S4/S8); ``bootstrap`` implements the
+statistical bootstrapping the paper uses to compare the accuracy of
+original vs GGR orderings over 10 000 resamples.
+"""
+
+from repro.accuracy.bootstrap import bootstrap_accuracy, compare_orderings
+from repro.accuracy.judge import JUDGES, JudgeSpec, SimulatedJudge
+
+__all__ = [
+    "JudgeSpec",
+    "SimulatedJudge",
+    "JUDGES",
+    "bootstrap_accuracy",
+    "compare_orderings",
+]

@@ -1,0 +1,46 @@
+"""One experiment module per paper exhibit (see DESIGN.md experiment index).
+
+Every module exposes ``run(scale=None, seed=0, **kwargs) -> ExperimentOutput``.
+``EXPERIMENTS`` maps CLI names to those callables.
+"""
+
+from repro.bench.experiments import (
+    ablations,
+    extensions,
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig3a": fig3.run_fig3a,
+    "fig3b": fig3.run_fig3b,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "ablation-fd": ablations.run_fd,
+    "ablation-early-stop": ablations.run_early_stop,
+    "ablation-fixed-orders": ablations.run_fixed_orders,
+    "ablation-memory": ablations.run_memory,
+    "ext-partitioned": extensions.run_partitioned,
+    "ext-refine": extensions.run_refine,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,134 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* ``run_fd`` — functional-dependency pruning on/off (PHC and solver time);
+* ``run_early_stop`` — recursion-depth sweep (solution quality vs time);
+* ``run_fixed_orders`` — the fixed-order family vs per-row GGR;
+* ``run_memory`` — KV-capacity sweep: how cache pressure changes the
+  GGR-vs-original speedup (the regime argument behind Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments.base import dataset, run_query_policies
+from repro.bench.policies import CACHE_FIXED_STATS, CACHE_GGR, CACHE_ORIGINAL
+from repro.bench.reporting import ExperimentOutput, ResultTable, default_scale, fmt_pct
+from repro.bench.runner import scaled_kv_capacity
+from repro.core.ggr import GGRConfig
+from repro.core.reorder import reorder
+from repro.llm.hardware import CLUSTER_1XL4
+from repro.llm.models import LLAMA3_8B
+
+
+def run_fd(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Ablation: functional-dependency pruning")
+    table = ResultTable(
+        f"GGR with and without FDs at scale={scale}",
+        ["Dataset", "PHC with FDs", "PHC without", "Solver w/ (s)", "Solver w/o (s)"],
+    )
+    for name in ("movies", "products", "bird", "pdmx", "beer"):
+        ds = dataset(name, scale, seed)
+        rt = ds.table.to_reorder_table()
+        with_fd = reorder(rt, "ggr", fds=ds.fds)
+        cfg = GGRConfig(use_fds=False)
+        without = reorder(rt, "ggr", fds=ds.fds, config=cfg)
+        table.add_row(
+            ds.name, with_fd.exact_phc, without.exact_phc,
+            f"{with_fd.solver_seconds:.2f}", f"{without.solver_seconds:.2f}",
+        )
+        out.metrics[f"{name}.phc_with"] = with_fd.exact_phc
+        out.metrics[f"{name}.phc_without"] = without.exact_phc
+    out.tables.append(table)
+    out.notes.append("FDs lift PHC on FD-rich tables (Movies, Beer) at no cost.")
+    return out
+
+
+def run_early_stop(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Ablation: early-stopping depth sweep")
+    depths = [(0, 0), (2, 1), (4, 2), (8, 4), (16, 8)]
+    for name in ("movies", "pdmx"):
+        ds = dataset(name, scale, seed)
+        rt = ds.table.to_reorder_table()
+        table = ResultTable(
+            f"{ds.name}: (row depth, col depth) vs quality and time",
+            ["Depths", "PHC", "Schedule PHR", "Solver (s)", "Fallback rows"],
+        )
+        for rd, cd in depths:
+            cfg = GGRConfig(max_row_depth=rd, max_col_depth=cd)
+            res = reorder(rt, "ggr", fds=ds.fds, config=cfg)
+            report = res.ggr_report
+            table.add_row(
+                f"({rd},{cd})", res.exact_phc, fmt_pct(res.exact_phr),
+                f"{res.solver_seconds:.2f}",
+                report.fallback_rows if report else 0,
+            )
+            out.metrics[f"{name}.phc@{rd},{cd}"] = res.exact_phc
+        out.tables.append(table)
+    out.notes.append(
+        "The paper's (4,2) captures nearly all of the deep-recursion PHC "
+        "at a fraction of the solver time."
+    )
+    return out
+
+
+def run_fixed_orders(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Ablation: fixed field orders vs per-row GGR")
+    table = ResultTable(
+        f"PHC by policy at scale={scale}",
+        ["Dataset", "Original", "Sorted rows", "Fixed (stats)", "GGR"],
+    )
+    for name in ("movies", "products", "beer"):
+        ds = dataset(name, scale, seed)
+        rt = ds.table.to_reorder_table()
+        scores = {
+            p: reorder(rt, p, fds=ds.fds).exact_phc
+            for p in ("original", "sorted", "fixed_stats", "ggr")
+        }
+        table.add_row(ds.name, scores["original"], scores["sorted"],
+                      scores["fixed_stats"], scores["ggr"])
+        for p, v in scores.items():
+            out.metrics[f"{name}.{p}"] = v
+    out.tables.append(table)
+    out.notes.append(
+        "Each step of sophistication helps: row sorting < fixed stats "
+        "order < per-row GGR (the paper's m-fold argument in practice)."
+    )
+    return out
+
+
+def run_memory(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    """KV-capacity sweep on beer-T1, the cache-pressure-sensitive query:
+    its short repeated fields (beer ids, rating values) chain-match only
+    while their combination lattice fits in memory."""
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Ablation: KV-capacity sweep (beer-T1)")
+    ds = dataset("beer", scale, seed)
+    base_cap = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, scale, ds.paper_input_avg)
+    table = ResultTable(
+        "GGR-vs-Original as the cache grows",
+        ["Capacity (tokens)", "Orig PHR", "GGR PHR", "Speedup"],
+    )
+    from repro.bench.queries import get_query
+    from repro.bench.runner import run_query
+
+    q = get_query("beer-T1")
+    for mult in (0.25, 0.5, 1.0, 2.0, 4.0):
+        cap = int(base_cap * mult)
+        orig = run_query(q, ds, CACHE_ORIGINAL, kv_capacity_tokens=cap, seed=seed)
+        ggr = run_query(q, ds, CACHE_GGR, kv_capacity_tokens=cap, seed=seed)
+        speed = orig.engine_seconds / ggr.engine_seconds if ggr.engine_seconds else 0.0
+        table.add_row(cap, fmt_pct(orig.phr), fmt_pct(ggr.phr), f"{speed:.2f}x")
+        out.metrics[f"speedup@{mult}"] = speed
+        out.metrics[f"orig_phr@{mult}"] = orig.phr
+        out.metrics[f"ggr_phr@{mult}"] = ggr.phr
+    out.tables.append(table)
+    out.notes.append(
+        "GGR's grouped schedule keeps its hits from *adjacency* and barely "
+        "needs cache capacity; the unordered baseline's hits come from "
+        "resident cache state and grow with memory."
+    )
+    return out

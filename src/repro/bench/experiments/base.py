@@ -1,0 +1,47 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bench.policies import CACHE_GGR, CACHE_ORIGINAL, NO_CACHE, Policy
+from repro.bench.queries import BenchmarkQuery, get_query
+from repro.bench.runner import RunResult, run_query, scaled_kv_capacity
+from repro.data.datasets import Dataset, build_dataset
+from repro.llm.hardware import CLUSTER_1XL4, Cluster
+from repro.llm.models import LLAMA3_8B, ModelSpec
+
+#: Datasets used by the filter-query figures, in the paper's plot order.
+FILTER_DATASETS = ("movies", "products", "bird", "pdmx", "beer")
+RAG_DATASETS = ("fever", "squad")
+
+
+@lru_cache(maxsize=32)
+def dataset(name: str, scale: float, seed: int) -> Dataset:
+    """Datasets are deterministic in (name, scale, seed); cache per process
+    so successive experiments reuse them."""
+    return build_dataset(name, scale=scale, seed=seed)
+
+
+def run_query_policies(
+    query_id: str,
+    scale: float,
+    seed: int,
+    policies: Sequence[Policy] = (NO_CACHE, CACHE_ORIGINAL, CACHE_GGR),
+    model: ModelSpec = LLAMA3_8B,
+    cluster: Cluster = CLUSTER_1XL4,
+    **kwargs,
+) -> Tuple[Dataset, Dict[str, RunResult]]:
+    """Run one benchmark query under each policy with memory scaled to the
+    dataset scale (see :func:`repro.bench.runner.scaled_kv_capacity`)."""
+    query = get_query(query_id)
+    ds = dataset(query.dataset, scale, seed)
+    cap = scaled_kv_capacity(model, cluster, scale, ds.paper_input_avg)
+    results = {}
+    for policy in policies:
+        results[policy.name] = run_query(
+            query, ds, policy, model=model, cluster=cluster,
+            kv_capacity_tokens=cap, seed=seed, **kwargs,
+        )
+    return ds, results

@@ -1,0 +1,75 @@
+"""Extension studies beyond the paper's exhibits.
+
+* ``run_partitioned`` — Spark-style partition-parallel GGR: PHC retained
+  vs the whole-table solve as partition count grows, for naive and
+  clustered partitioning (the deployment question §5 leaves open).
+* ``run_refine`` — hill-climbing post-pass on GGR schedules: how much PHC
+  the greedy leaves on the table (§4.2.3's tie-breaking discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments.base import dataset
+from repro.bench.reporting import ExperimentOutput, ResultTable, default_scale, fmt_pct
+from repro.core.partitioned import partitioned_reorder
+from repro.core.refine import refine
+from repro.core.reorder import reorder
+
+
+def run_partitioned(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Extension: partition-parallel GGR")
+    for name in ("movies", "beer"):
+        ds = dataset(name, scale, seed)
+        rt = ds.table.to_reorder_table()
+        whole = reorder(rt, "ggr", fds=ds.fds)
+        table = ResultTable(
+            f"{ds.name}: PHC retention vs whole-table solve "
+            f"(whole PHC={whole.exact_phc})",
+            ["Partitions", "Mode", "PHC", "Retained", "Critical path (s)"],
+        )
+        for k in (2, 4, 8):
+            for mode in ("round_robin", "clustered"):
+                res = partitioned_reorder(rt, k, mode=mode, fds=ds.fds)
+                retained = res.exact_phc / whole.exact_phc if whole.exact_phc else 1.0
+                table.add_row(
+                    k, mode, res.exact_phc, fmt_pct(retained),
+                    f"{res.critical_path_seconds:.3f}",
+                )
+                out.metrics[f"{name}.{mode}@{k}"] = retained
+        out.tables.append(table)
+    out.notes.append(
+        "Clustered partitioning retains nearly all PHC at 8-way parallelism; "
+        "round-robin scatters the value groups and pays for it."
+    )
+    return out
+
+
+def run_refine(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Extension: local-search refinement of GGR")
+    table = ResultTable(
+        f"Hill climbing on GGR schedules at scale={scale}",
+        ["Dataset", "GGR PHC", "Refined PHC", "Gain", "Moves", "Realignments", "Seconds"],
+    )
+    for name in ("movies", "pdmx", "beer"):
+        ds = dataset(name, scale, seed)
+        rt = ds.table.to_reorder_table()
+        base = reorder(rt, "ggr", fds=ds.fds)
+        res = refine(base.schedule, table=rt, time_limit_s=3.0)
+        gain = res.improvement / base.exact_phc if base.exact_phc else 0.0
+        table.add_row(
+            ds.name, base.exact_phc, res.phc_after, fmt_pct(gain),
+            res.row_moves, res.field_realignments, f"{res.seconds:.2f}",
+        )
+        out.metrics[f"{name}.gain"] = gain
+        out.metrics[f"{name}.phc_after"] = res.phc_after
+        out.metrics[f"{name}.phc_before"] = res.phc_before
+    out.tables.append(table)
+    out.notes.append(
+        "Gains are small (GGR is near-greedy-optimal on these tables) but "
+        "never negative — the refiner only accepts improving moves."
+    )
+    return out

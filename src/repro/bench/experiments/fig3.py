@@ -1,0 +1,89 @@
+"""Fig. 3: end-to-end runtimes for filter (3a) and projection + RAG (3b)
+queries under No Cache / Cache (Original) / Cache (GGR) on Llama-3-8B."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.experiments.base import FILTER_DATASETS, RAG_DATASETS, run_query_policies
+from repro.bench.reporting import (
+    ExperimentOutput,
+    ResultTable,
+    default_scale,
+    fmt_seconds,
+    fmt_speedup,
+)
+
+#: Paper speedups of Cache (GGR): (over No Cache, over Cache (Original)).
+PAPER_FIG3A = {
+    "movies": (3.8, 3.0), "products": (2.5, 2.7), "bird": (3.8, 2.6),
+    "pdmx": (2.1, 1.8), "beer": (3.8, 2.0),
+}
+PAPER_FIG3B = {
+    "movies": (3.3, 2.4), "products": (2.6, 2.4), "bird": (3.7, 3.4),
+    "pdmx": (1.9, 1.9), "beer": (2.4, 1.5), "fever": (1.9, 1.8),
+    "squad": (1.8, 1.7),
+}
+
+
+def _run(
+    name: str,
+    query_ids: Sequence[str],
+    paper: dict,
+    scale: float,
+    seed: int,
+) -> ExperimentOutput:
+    out = ExperimentOutput(name=name)
+    table = ResultTable(
+        f"Runtime by policy at scale={scale} (simulated seconds)",
+        ["Query", "No Cache", "Cache (Original)", "Cache (GGR)",
+         "GGR vs NoCache (paper)", "GGR vs Original (paper)"],
+    )
+    for qid in query_ids:
+        ds_name = qid.split("-")[0]
+        _, res = run_query_policies(qid, scale, seed)
+        nc = res["No Cache"].engine_seconds
+        orig = res["Cache (Original)"].engine_seconds
+        ggr = res["Cache (GGR)"].engine_seconds
+        p_nc, p_orig = paper.get(ds_name, (None, None))
+        table.add_row(
+            qid,
+            fmt_seconds(nc),
+            fmt_seconds(orig),
+            fmt_seconds(ggr),
+            f"{fmt_speedup(nc, ggr)} ({p_nc}x)",
+            f"{fmt_speedup(orig, ggr)} ({p_orig}x)",
+        )
+        out.metrics[f"{qid}.no_cache_s"] = nc
+        out.metrics[f"{qid}.original_s"] = orig
+        out.metrics[f"{qid}.ggr_s"] = ggr
+        out.metrics[f"{qid}.speedup_vs_nocache"] = nc / ggr if ggr else 0.0
+        out.metrics[f"{qid}.speedup_vs_original"] = orig / ggr if ggr else 0.0
+    out.tables.append(table)
+    out.notes.append(
+        "Absolute seconds come from the serving simulator; the reproduction "
+        "targets are the policy ordering and the speedup bands."
+    )
+    return out
+
+
+def run_fig3a(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    return _run(
+        "Fig 3a: LLM filter queries (Llama-3-8B, 1xL4)",
+        [f"{d}-T1" for d in FILTER_DATASETS],
+        PAPER_FIG3A,
+        scale,
+        seed,
+    )
+
+
+def run_fig3b(scale: Optional[float] = None, seed: int = 0) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    return _run(
+        "Fig 3b: LLM projection + RAG queries (Llama-3-8B, 1xL4)",
+        [f"{d}-T2" for d in FILTER_DATASETS] + [f"{d}-T5" for d in RAG_DATASETS],
+        PAPER_FIG3B,
+        scale,
+        seed,
+    )

@@ -1,0 +1,74 @@
+"""Fig. 6: accuracy of original vs GGR orderings, 3 judges x 6 datasets,
+10 000-run statistical bootstrap (§6.4).
+
+The reproduction claim: all deltas within ±5% except FEVER on the 8B
+judge, where GGR's move of the ``claim`` field to the end of the prompt
+*helps* by ~14%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.accuracy.bootstrap import compare_orderings
+from repro.accuracy.judge import JUDGES, SimulatedJudge
+from repro.bench.experiments.base import dataset
+from repro.bench.queries import FILTER_PROMPTS, RAG_PROMPTS
+from repro.bench.reporting import ExperimentOutput, ResultTable, default_scale
+from repro.relational.expressions import LLMExpr
+from repro.relational.llm_functions import LLMRuntime
+
+#: Paper Fig. 6 median accuracy deltas (GGR - original), in percent.
+PAPER_FIG6 = {
+    "llama3-8b": {"movies": 3, "products": -1, "bird": 0, "pdmx": 1, "beer": -6, "fever": 14.2},
+    "llama3-70b": {"movies": 4, "products": 1, "bird": 1, "pdmx": -1, "beer": -3, "fever": 1.7},
+    "gpt-4o": {"movies": -3, "products": -2, "bird": -1, "pdmx": 4, "beer": -3, "fever": -2.4},
+}
+
+DATASETS = ("movies", "products", "bird", "pdmx", "beer", "fever")
+
+
+def run(
+    scale: Optional[float] = None,
+    seed: int = 0,
+    n_boot: int = 10_000,
+) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    out = ExperimentOutput(name="Fig 6: accuracy, original vs GGR ordering")
+    for judge_key, spec in JUDGES.items():
+        table = ResultTable(
+            f"{spec.name}: bootstrap medians over {n_boot} resamples",
+            ["Dataset", "Original", "GGR", "Delta (paper)"],
+        )
+        for ds_name in DATASETS:
+            ds = dataset(ds_name, scale, seed)
+            judge = SimulatedJudge(
+                spec, ds.name, ds.labels, ds.label_domain, ds.key_field, seed=seed
+            )
+            prompt = (
+                RAG_PROMPTS[ds_name] if ds_name in RAG_PROMPTS else FILTER_PROMPTS[ds_name]
+            )
+            correctness: Dict[str, list] = {}
+            for policy in ("original", "ggr"):
+                runtime = LLMRuntime(policy=policy, fds=ds.fds, answerer=judge.answerer)
+                answers = runtime.execute(ds.table, LLMExpr(prompt, ("*",)))
+                correctness[policy] = judge.grade(answers)
+            cmp = compare_orderings(
+                correctness["original"], correctness["ggr"], n_boot=n_boot, seed=seed
+            )
+            paper_delta = PAPER_FIG6[judge_key][ds_name]
+            table.add_row(
+                ds.name,
+                f"{100 * cmp.median_a:.1f}%",
+                f"{100 * cmp.median_b:.1f}%",
+                f"{100 * cmp.median_diff:+.1f}% ({paper_delta:+.1f}%)",
+            )
+            out.metrics[f"{judge_key}.{ds_name}.delta"] = cmp.median_diff
+            out.metrics[f"{judge_key}.{ds_name}.original"] = cmp.median_a
+            out.metrics[f"{judge_key}.{ds_name}.ggr"] = cmp.median_b
+        out.tables.append(table)
+    out.notes.append(
+        "Claim reproduced when every |delta| <= ~5% except llama3-8b on "
+        "FEVER, which improves by >10% (claim moved to the prompt's end)."
+    )
+    return out

@@ -1,0 +1,89 @@
+"""Table 6 (Appendix D.1): GGR vs the OPHR oracle on small table prefixes.
+
+The paper runs OPHR on the first 10-200 rows of each dataset (PDMX cut to
+10 columns) with a 2-hour timeout; GGR lands within ~2% of the optimal
+prefix hit rate while being orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.experiments.base import dataset
+from repro.bench.reporting import ExperimentOutput, ResultTable, default_scale, fmt_pct
+from repro.core.ggr import GGRConfig
+from repro.core.reorder import reorder
+from repro.errors import SolverError
+
+PAPER_TABLE6 = {
+    # dataset: (paper rows, OPHR PHR %, GGR PHR %, OPHR seconds, GGR seconds)
+    "movies": (50, 0.806, 0.806, 2556.0, 0.05),
+    "products": (25, 0.197, 0.185, 357.0, 0.06),
+    "bird": (50, 0.775, 0.762, 0.43, 0.05),
+    "pdmx": (25, 0.294, 0.286, 822.0, 0.05),
+    "fever": (50, 0.073, 0.069, 110.0, 0.23),
+    "beer": (10, 0.257, 0.256, 1269.0, 0.08),
+    "squad": (10, 0.340, 0.340, 1.6, 0.05),
+}
+
+#: Default prefix sizes keep OPHR tractable in a benchmark run; raise
+#: ``rows`` (and the time limit) to approach the paper's sizes.
+DEFAULT_ROWS = {
+    "movies": 12, "products": 10, "bird": 16, "pdmx": 8,
+    "fever": 10, "beer": 8, "squad": 8,
+}
+
+PDMX_COLUMNS = 10
+
+
+def run(
+    scale: Optional[float] = None,
+    seed: int = 0,
+    rows: Optional[Dict[str, int]] = None,
+    time_limit_s: float = 60.0,
+) -> ExperimentOutput:
+    scale = scale if scale is not None else default_scale()
+    rows = rows or DEFAULT_ROWS
+    out = ExperimentOutput(name="Table 6 (D.1): GGR vs OPHR")
+    table = ResultTable(
+        "Prefix hit rate and solver runtime on dataset prefixes",
+        ["Dataset-rows", "OPHR PHR", "GGR PHR", "Diff", "OPHR (s)", "GGR (s)", "Paper diff"],
+    )
+    deep = GGRConfig(max_row_depth=64, max_col_depth=64)
+    for name, n in rows.items():
+        ds = dataset(name, scale, seed)
+        sub = ds.table.to_reorder_table()
+        if name == "pdmx":
+            sub = sub.select_fields(list(sub.fields[:PDMX_COLUMNS]))
+        sub = sub.head(n)
+        ggr_res = reorder(sub, policy="ggr", fds=ds.fds.restrict(sub.fields), config=deep)
+        paper_rows, p_ophr, p_ggr, *_ = PAPER_TABLE6[name]
+        try:
+            ophr_res = reorder(sub, policy="ophr")
+            diff = ggr_res.exact_phr - ophr_res.exact_phr
+            assert ggr_res.exact_phc <= ophr_res.exact_phc, "OPHR must dominate"
+            table.add_row(
+                f"{ds.name}-{n}",
+                fmt_pct(ophr_res.exact_phr),
+                fmt_pct(ggr_res.exact_phr),
+                f"{100 * diff:+.1f}pp",
+                f"{ophr_res.solver_seconds:.2f}",
+                f"{ggr_res.solver_seconds:.3f}",
+                f"{100 * (p_ggr - p_ophr):+.1f}pp (at {paper_rows} rows)",
+            )
+            out.metrics[f"{name}.ophr_phr"] = ophr_res.exact_phr
+            out.metrics[f"{name}.ggr_phr"] = ggr_res.exact_phr
+            out.metrics[f"{name}.ophr_seconds"] = ophr_res.solver_seconds
+            out.metrics[f"{name}.ggr_seconds"] = ggr_res.solver_seconds
+        except SolverError as exc:
+            table.add_row(
+                f"{ds.name}-{n}", "timeout", fmt_pct(ggr_res.exact_phr), "-",
+                f">{time_limit_s:.0f}", f"{ggr_res.solver_seconds:.3f}", str(exc)[:24],
+            )
+            out.metrics[f"{name}.ggr_phr"] = ggr_res.exact_phr
+    out.tables.append(table)
+    out.notes.append(
+        "GGR tracks the oracle within a couple of percentage points while "
+        "running orders of magnitude faster (paper: hours vs <0.25 s)."
+    )
+    return out

@@ -1,0 +1,34 @@
+"""The serving policies compared throughout the evaluation (§6.1.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A (request ordering, prefix cache on/off) pair.
+
+    ``reorder_policy`` names a :data:`repro.core.reorder.POLICIES` entry.
+    """
+
+    name: str
+    reorder_policy: str
+    cache_enabled: bool
+
+
+#: vLLM without automatic prefix caching, original order.
+NO_CACHE = Policy(name="No Cache", reorder_policy="original", cache_enabled=False)
+
+#: Prefix caching on, data in its stored order — the strongest off-the-shelf
+#: baseline (what you get by just pointing an engine at the table).
+CACHE_ORIGINAL = Policy(name="Cache (Original)", reorder_policy="original", cache_enabled=True)
+
+#: The paper's system: prefix caching plus GGR row/field reordering.
+CACHE_GGR = Policy(name="Cache (GGR)", reorder_policy="ggr", cache_enabled=True)
+
+#: Extra ablation baseline: best statistics-driven *fixed* field order.
+CACHE_FIXED_STATS = Policy(name="Cache (FixedStats)", reorder_policy="fixed_stats", cache_enabled=True)
+
+DEFAULT_POLICIES: Tuple[Policy, ...] = (NO_CACHE, CACHE_ORIGINAL, CACHE_GGR)

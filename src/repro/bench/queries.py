@@ -1,0 +1,228 @@
+"""The 16-query benchmark suite (§6.1.2, Appendix A and C).
+
+Five query types over seven datasets:
+
+* T1 LLM filter (x5): Movies, Products, BIRD, PDMX, Beer
+* T2 LLM projection (x5): same datasets
+* T3 multi-LLM invocation (x2): Movies, Products — sentiment filter, then
+  projection over the selected rows
+* T4 LLM aggregation (x2): Movies, Products — AVG of numeric scores
+* T5 RAG (x2): FEVER, SQuAD
+
+User prompts are the Appendix C texts (lightly trimmed). ``fields``
+follows Appendix A where it enumerates them, else ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query.
+
+    ``output_type`` selects the dataset's Table-1 output-length profile.
+    For T3, ``stage1_prompt``/``stage1_fields`` describe the initial filter
+    invocation; the main prompt/fields describe the second (projection)
+    invocation over the filtered rows.
+    """
+
+    query_id: str
+    dataset: str
+    qtype: str
+    prompt: str
+    fields: Tuple[str, ...]
+    output_type: str
+    stage1_prompt: Optional[str] = None
+    stage1_fields: Optional[Tuple[str, ...]] = None
+    stage1_keep: Optional[str] = None  # answer value selected by the filter
+
+
+FILTER_PROMPTS: Dict[str, str] = {
+    "movies": (
+        "Given the following fields, answer in one word, 'Yes' or 'No', "
+        "whether the movie would be suitable for kids. Answer with ONLY "
+        "'Yes' or 'No'."
+    ),
+    "products": (
+        "Given the following fields determine if the review speaks "
+        "positively ('POSITIVE'), negatively ('NEGATIVE'), or neutral "
+        "('NEUTRAL') about the product. Answer only 'POSITIVE', "
+        "'NEGATIVE', or 'NEUTRAL', nothing else."
+    ),
+    "bird": (
+        "Given the following fields related to posts in an online codebase "
+        "community, answer whether the post is related to statistics. "
+        "Answer with only 'YES' or 'NO'."
+    ),
+    "pdmx": (
+        "Based on following fields, answer 'YES' or 'NO' if any of the "
+        "song information references a specific individual. Answer only "
+        "'YES' or 'NO', nothing else."
+    ),
+    "beer": (
+        "Based on the beer descriptions, does this beer have European "
+        "origin? Answer 'YES' if it does or 'NO' if it doesn't."
+    ),
+}
+
+PROJECTION_PROMPTS: Dict[str, str] = {
+    "movies": (
+        "Given information including movie descriptions and critic "
+        "reviews, summarize the good qualities in this movie that led to "
+        "a favorable rating."
+    ),
+    "products": (
+        "Given the following fields related to amazon products, summarize "
+        "the product, then answer whether the product description is "
+        "consistent with the quality expressed in the review."
+    ),
+    "bird": (
+        "Given the following fields related to posts in an online codebase "
+        "community, summarize how the comment Text related to the post body."
+    ),
+    "pdmx": (
+        "Given the following fields, provide an overview on the music "
+        "type, and analyze the given scores. Give exactly 50 words of "
+        "summary."
+    ),
+    "beer": (
+        "Given the following fields, provide an high-level overview on the "
+        "beer and review in a 20 words paragraph."
+    ),
+}
+
+SENTIMENT_PROMPT = (
+    "Given the following review, answer whether the sentiment associated "
+    "is 'POSITIVE' or 'NEGATIVE'. Answer in all caps with ONLY 'POSITIVE' "
+    "or 'NEGATIVE':"
+)
+
+AGGREGATION_PROMPTS: Dict[str, str] = {
+    "movies": (
+        "Given the following fields of a movie description and a user "
+        "review, assign a sentiment score for the review out of 5. Answer "
+        "with ONLY a single integer between 1 (bad) and 5 (good)."
+    ),
+    "products": (
+        "Given the following fields of a product description and a user "
+        "review, assign a sentiment score for the review out of 5. Answer "
+        "with ONLY a single integer between 1 (bad) and 5 (good)."
+    ),
+}
+
+RAG_PROMPTS: Dict[str, str] = {
+    "fever": (
+        "You are given 4 pieces of evidence and a claim. Answer SUPPORTS "
+        "if the pieces of evidence support the given claim, REFUTES if the "
+        "evidence refutes the given claim, or NOT ENOUGH INFO if there is "
+        "not enough information to answer. Your answer should just be "
+        "SUPPORTS, REFUTES, or NOT ENOUGH INFO and nothing else."
+    ),
+    "squad": "Given a question and supporting contexts, answer the provided question.",
+}
+
+
+def _build_queries() -> List[BenchmarkQuery]:
+    queries: List[BenchmarkQuery] = []
+    # T1: filters. Fields are passed as `*`: the operator receives them in
+    # the table's stored order, which is what the Cache (Original) baseline
+    # serializes (Appendix A's SELECT enumerates fields, but §6.2 describes
+    # the default order as starting with the distinct review text).
+    for ds, prompt in FILTER_PROMPTS.items():
+        queries.append(
+            BenchmarkQuery(
+                query_id=f"{ds}-T1",
+                dataset=ds,
+                qtype="T1",
+                prompt=prompt,
+                fields=("*",),
+                output_type="T1",
+            )
+        )
+    # T2: projections. Field lists follow the tables' stored order (the
+    # Original baseline serializes fields as given).
+    t2_fields = {
+        "movies": ("reviewcontent", "movieinfo"),
+        "bird": ("Text", "Body"),
+    }
+    for ds, prompt in PROJECTION_PROMPTS.items():
+        queries.append(
+            BenchmarkQuery(
+                query_id=f"{ds}-T2",
+                dataset=ds,
+                qtype="T2",
+                prompt=prompt,
+                fields=t2_fields.get(ds, ("*",)),
+                output_type="T2",
+            )
+        )
+    # T3: multi-LLM invocation (filter on the distinct review text, then a
+    # projection over the rows the filter kept).
+    for ds in ("movies", "products"):
+        review_field = "reviewcontent" if ds == "movies" else "text"
+        stage2_fields = (
+            ("reviewtype", "reviewcontent", "movieinfo", "genres")
+            if ds == "movies"
+            else ("*",)
+        )
+        queries.append(
+            BenchmarkQuery(
+                query_id=f"{ds}-T3",
+                dataset=ds,
+                qtype="T3",
+                prompt=PROJECTION_PROMPTS[ds],
+                fields=stage2_fields,
+                output_type="T3",
+                stage1_prompt=SENTIMENT_PROMPT,
+                stage1_fields=(review_field,),
+                stage1_keep="NEGATIVE",
+            )
+        )
+    # T4: aggregations.
+    t4_fields = {
+        "movies": ("reviewcontent", "movieinfo"),
+        "products": ("text", "description"),
+    }
+    for ds, prompt in AGGREGATION_PROMPTS.items():
+        queries.append(
+            BenchmarkQuery(
+                query_id=f"{ds}-T4",
+                dataset=ds,
+                qtype="T4",
+                prompt=prompt,
+                fields=t4_fields[ds],
+                output_type="T4",
+            )
+        )
+    # T5: RAG.
+    for ds, prompt in RAG_PROMPTS.items():
+        queries.append(
+            BenchmarkQuery(
+                query_id=f"{ds}-T5",
+                dataset=ds,
+                qtype="T5",
+                prompt=prompt,
+                fields=("*",),
+                output_type="T5",
+            )
+        )
+    return queries
+
+
+ALL_QUERIES: Tuple[BenchmarkQuery, ...] = tuple(_build_queries())
+
+assert len(ALL_QUERIES) == 16, "the paper's suite has exactly 16 queries"
+
+
+def queries_by_type(qtype: str) -> List[BenchmarkQuery]:
+    return [q for q in ALL_QUERIES if q.qtype == qtype]
+
+
+def get_query(query_id: str) -> BenchmarkQuery:
+    for q in ALL_QUERIES:
+        if q.query_id == query_id:
+            return q
+    raise KeyError(query_id)

@@ -1,0 +1,98 @@
+"""ASCII reporting: every experiment renders the same rows the paper
+prints, with a paper-reported column next to the measured one."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def fmt_speedup(baseline_seconds: float, new_seconds: float) -> str:
+    """'2.5x' formatting used throughout the figures."""
+    if new_seconds <= 0:
+        return "inf"
+    return f"{baseline_seconds / new_seconds:.1f}x"
+
+
+def fmt_pct(x: float, digits: int = 1) -> str:
+    return f"{100 * x:.{digits}f}%"
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 100:
+        return f"{s:.0f}s"
+    if s >= 1:
+        return f"{s:.1f}s"
+    return f"{s * 1000:.0f}ms"
+
+
+class ResultTable:
+    """A fixed-width text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, sep, line(self.headers), sep]
+        out.extend(line(r) for r in self.rows)
+        out.append(sep)
+        return "\n".join(out)
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything an experiment produces: tables, free-text notes, and a
+    flat metrics dict for assertions/EXPERIMENTS.md."""
+
+    name: str
+    tables: List[ResultTable] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.name} =="]
+        for t in self.tables:
+            parts.append(t.render())
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n\n".join(parts)
+
+
+def default_scale(fallback: float = 0.05) -> float:
+    """Experiment scale: REPRO_SCALE env var or a bench-friendly default.
+
+    ``scale=1.0`` reproduces the paper's full dataset sizes; the default
+    keeps a full harness run in CI-sized time budgets.
+    """
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return fallback
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {raw!r}")
+    return value
+
+
+def default_seed(fallback: int = 0) -> int:
+    raw = os.environ.get("REPRO_SEED", "")
+    return int(raw) if raw else fallback

@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+``repro list`` shows every experiment; ``repro all`` runs the full set.
+``--scale`` replays the paper's dataset sizes proportionally
+(``--scale 1.0`` = full size); it defaults to ``REPRO_SCALE`` or 0.05.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Optimizing LLM Queries in Relational "
+            "Data Analytics Workloads' (MLSys 2025)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list'",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale factor (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'repro list'", file=sys.stderr)
+        return 2
+
+    reports = []
+    for name in names:
+        start = time.perf_counter()
+        output = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        text = output.render() + f"\n\n(wall time: {elapsed:.1f}s)"
+        print(text)
+        print()
+        reports.append(text)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""One-call facade over the reordering policies.
+
+Every solver in :mod:`repro.core` emits a :class:`RequestSchedule`; this
+module wraps them behind a single ``reorder(table, policy=...)`` entry
+point, validates that the schedule is a true permutation of the input
+(semantic preservation), and recomputes the exact PHC of the emitted
+schedule so callers never depend on a solver's internal estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.fd import FunctionalDependencies
+from repro.core.fixed import fixed_field_schedule, original_schedule
+from repro.core.ggr import GGRConfig, GGRReport, ggr
+from repro.core.ophr import ophr
+from repro.core.ordering import RequestSchedule
+from repro.core.phc import phc, phr
+from repro.core.table import ReorderTable
+from repro.errors import SolverError
+
+POLICIES = ("original", "sorted", "fixed_stats", "ggr", "ophr")
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of :func:`reorder`.
+
+    Attributes
+    ----------
+    policy:
+        The policy that produced the schedule.
+    schedule:
+        The emitted row/field ordering (validated permutation).
+    exact_phc:
+        PHC of the schedule recomputed from scratch (paper Eq. 1).
+    estimated_phc:
+        The solver's own objective value (GGR's greedy estimate, OPHR's
+        optimal score); equals ``exact_phc`` for exact solvers.
+    exact_phr:
+        Linear-token prefix hit rate estimate of the schedule.
+    solver_seconds:
+        Wall-clock solver time (the paper's Table 5 metric).
+    ggr_report:
+        Diagnostics when ``policy == "ggr"``.
+    """
+
+    policy: str
+    schedule: RequestSchedule
+    exact_phc: int
+    estimated_phc: float
+    exact_phr: float
+    solver_seconds: float
+    ggr_report: Optional[GGRReport] = None
+
+
+def reorder(
+    table: ReorderTable,
+    policy: str = "ggr",
+    fds: Optional[FunctionalDependencies] = None,
+    config: Optional[GGRConfig] = None,
+    validate: bool = True,
+) -> ReorderResult:
+    """Reorder ``table`` under ``policy`` and return a validated result.
+
+    Policies
+    --------
+    ``"original"``
+        Rows and fields untouched (Cache(Original) / No Cache input order).
+    ``"sorted"``
+        Original field order, rows lexicographically sorted — the cheapest
+        row-only optimization.
+    ``"fixed_stats"``
+        Statistics-driven fixed field order + lexicographic row sort.
+    ``"ggr"``
+        Greedy Group Recursion (the paper's deployed algorithm).
+    ``"ophr"``
+        Optimal Prefix Hit Recursion (exponential; small tables only).
+    """
+    if policy not in POLICIES:
+        raise SolverError(f"unknown policy {policy!r}; choose from {POLICIES}")
+
+    report: Optional[GGRReport] = None
+    start = time.perf_counter()
+    if policy == "original":
+        schedule = original_schedule(table)
+        estimated = float(phc(schedule))
+    elif policy == "sorted":
+        schedule = fixed_field_schedule(table, list(table.fields), sort_rows=True)
+        estimated = float(phc(schedule))
+    elif policy == "fixed_stats":
+        schedule = fixed_field_schedule(table, None, sort_rows=True)
+        estimated = float(phc(schedule))
+    elif policy == "ggr":
+        estimated, schedule, report = ggr(table, fds=fds, config=config)
+    else:  # ophr
+        score, schedule = ophr(table)
+        estimated = float(score)
+    elapsed = time.perf_counter() - start
+
+    if validate:
+        schedule.validate_against(table)
+    return ReorderResult(
+        policy=policy,
+        schedule=schedule,
+        exact_phc=phc(schedule),
+        estimated_phc=estimated,
+        exact_phr=phr(schedule),
+        solver_seconds=elapsed,
+        ggr_report=report,
+    )

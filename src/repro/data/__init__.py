@@ -1,0 +1,21 @@
+"""Synthetic versions of the paper's seven benchmark datasets.
+
+The real corpora (Rotten Tomatoes, Amazon Reviews, BIRD, PDMX, RateBeer,
+SQuAD, FEVER) are not shippable offline; these generators reproduce the
+properties the reordering algorithms exploit and the evaluation measures:
+
+* exact schemas and functional dependencies from Appendix B;
+* join-induced duplication (reviews x metadata) and low-cardinality fields;
+* row counts, field counts, and average input/output token lengths scaled
+  from Table 1;
+* per-row ground-truth labels for the filter-accuracy study (Fig. 6);
+* for the RAG datasets, a passage corpus plus question set so the full
+  retrieval stack (embed -> KNN -> context table) is exercised.
+
+Everything is seeded and deterministic.
+"""
+
+from repro.data.datasets import DATASET_BUILDERS, Dataset, build_dataset
+from repro.data.textgen import TextGenerator
+
+__all__ = ["Dataset", "DATASET_BUILDERS", "build_dataset", "TextGenerator"]

@@ -1,0 +1,85 @@
+"""Deterministic synthetic text with controllable token length.
+
+Text is assembled from a seeded pseudo-word vocabulary. With the package
+tokenizer, one word plus its following space costs ~2 tokens, so
+``paragraph(target_tokens)`` emits roughly ``target_tokens / 2`` words —
+close enough to steer dataset input lengths toward the paper's Table 1
+averages (the table-1 experiment measures the achieved values).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
+    "ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu cha sho zen mar per tal gor win"
+).split()
+
+#: Tokens per word for this package's tokenizer (space fuses into the word
+#: piece, BPE-style; punctuation adds a little — measured ~1.35).
+TOKENS_PER_WORD = 1.35
+
+
+def make_word(rng: random.Random, min_syll: int = 1, max_syll: int = 3) -> str:
+    n = rng.randint(min_syll, max_syll)
+    return "".join(rng.choice(_SYLLABLES) for _ in range(n))
+
+
+class TextGenerator:
+    """Seeded generator with a fixed vocabulary per instance."""
+
+    def __init__(self, seed: int = 0, vocab_size: int = 600, domain: str = ""):
+        self._rng = random.Random((seed, vocab_size, domain).__repr__())
+        self.seed = seed
+        self.domain = domain
+        seen = set()
+        vocab: List[str] = []
+        while len(vocab) < vocab_size:
+            w = make_word(self._rng)
+            if domain:
+                w = w  # domain only seeds the RNG; words stay plain
+            if w not in seen:
+                seen.add(w)
+                vocab.append(w)
+        self.vocab = vocab
+
+    def rng(self, *key) -> random.Random:
+        """Derived deterministic RNG for a sub-stream."""
+        return random.Random((self.seed, self.domain, *key).__repr__())
+
+    def words(self, rng: random.Random, n: int) -> str:
+        return " ".join(rng.choice(self.vocab) for _ in range(max(0, n)))
+
+    def sentence(self, rng: random.Random, n_words: int) -> str:
+        body = self.words(rng, n_words)
+        return (body[:1].upper() + body[1:] + ".") if body else ""
+
+    def paragraph(self, rng: random.Random, target_tokens: int) -> str:
+        """~``target_tokens`` tokens of prose (sentences of 6-14 words)."""
+        n_words = max(1, int(target_tokens / TOKENS_PER_WORD))
+        out: List[str] = []
+        left = n_words
+        while left > 0:
+            take = min(left, rng.randint(6, 14))
+            out.append(self.sentence(rng, take))
+            left -= take
+        return " ".join(out)
+
+    def name(self, rng: random.Random, n_words: int = 2) -> str:
+        return " ".join(make_word(rng, 1, 2).capitalize() for _ in range(n_words))
+
+    def choice(self, rng: random.Random, options: Sequence[str]) -> str:
+        return rng.choice(list(options))
+
+    def zipf_index(self, rng: random.Random, n: int, skew: float = 1.1) -> int:
+        """Zipf-ish popularity: low indices are picked far more often —
+        models 'referencing popular items' (§1)."""
+        if n <= 1:
+            return 0
+        u = rng.random()
+        # Inverse-CDF of a truncated power law.
+        idx = int(n * (u ** skew))
+        return min(idx, n - 1)

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table, schema, or field reference is malformed or inconsistent."""
+
+
+class SolverError(ReproError):
+    """A reordering solver was invoked with invalid inputs or limits."""
+
+
+class SQLError(ReproError):
+    """A SQL string could not be lexed, parsed, or planned."""
+
+
+class ServingError(ReproError):
+    """The serving simulator was driven into an invalid state."""
+
+
+class CapacityError(ServingError):
+    """A request cannot fit in the simulated device memory at all."""
+
+
+class PricingError(ReproError):
+    """A pricing model was asked to cost an invalid usage record."""
+
+
+class DataGenError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

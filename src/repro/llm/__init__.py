@@ -1,0 +1,67 @@
+"""Simulated LLM serving substrate.
+
+The paper runs vLLM with automatic prefix caching on NVIDIA L4 GPUs; no GPU
+is available here, so this package implements the same *mechanisms* in a
+discrete-event simulator (see DESIGN.md "Substitutions"):
+
+``tokenizer``
+    Deterministic incremental-vocabulary tokenizer (prefix-stable).
+``radix``
+    RadixAttention-style prefix cache over token sequences with LRU
+    eviction and pin-locking for running requests.
+``blocks``
+    Paged KV block manager with ref-counted blocks (vLLM-style).
+``hardware`` / ``models``
+    GPU and model registries (L4, 8xL4; Llama-3 1B/8B/70B) with memory,
+    bandwidth, FLOPs, weight bytes and KV bytes/token.
+``costmodel``
+    Roofline timing: compute-bound prefill (with the quadratic attention
+    term PHC's squared lengths model), bandwidth-bound decode.
+``engine``
+    Continuous-batching engine: admission limited by KV memory, sequential
+    prefill with radix lookups, batched decode steps.
+``client``
+    High-level client: strings in, answers + usage + simulated latency out.
+``pricing``
+    OpenAI / Anthropic prompt-caching billing models (Table 3 / Table 4).
+``prompts``
+    The JSON prompt construction used by the paper's LLM operator (§5).
+"""
+
+from repro.llm.client import BatchResult, SimulatedLLMClient
+from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
+from repro.llm.hardware import CLUSTER_1XL4, CLUSTER_8XL4, Cluster, GPUSpec
+from repro.llm.models import LLAMA3_1B, LLAMA3_8B, LLAMA3_70B, ModelSpec
+from repro.llm.pricing import (
+    PricingModel,
+    anthropic_claude35_sonnet,
+    estimated_savings,
+    openai_gpt4o_mini,
+)
+from repro.llm.radix import RadixPrefixCache
+from repro.llm.request import Request, RequestMetrics
+from repro.llm.tokenizer import HashTokenizer
+
+__all__ = [
+    "HashTokenizer",
+    "RadixPrefixCache",
+    "Request",
+    "RequestMetrics",
+    "GPUSpec",
+    "Cluster",
+    "CLUSTER_1XL4",
+    "CLUSTER_8XL4",
+    "ModelSpec",
+    "LLAMA3_1B",
+    "LLAMA3_8B",
+    "LLAMA3_70B",
+    "SimulatedLLMEngine",
+    "EngineConfig",
+    "EngineResult",
+    "SimulatedLLMClient",
+    "BatchResult",
+    "PricingModel",
+    "openai_gpt4o_mini",
+    "anthropic_claude35_sonnet",
+    "estimated_savings",
+]

@@ -1,0 +1,129 @@
+"""Paged KV-cache block manager (vLLM-style).
+
+KV memory is allocated in fixed-size blocks of ``block_tokens`` tokens.
+Blocks are ref-counted so a prefix shared by many sequences is stored once;
+forking a sequence bumps refs, releasing decrements and frees at zero. The
+engine uses the manager for admission control; the radix tree decides *what*
+is shared, the block manager enforces *how much* physical memory that costs
+(including fragmentation from partially-filled last blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import CapacityError, ServingError
+
+
+@dataclass
+class BlockAllocation:
+    """A contiguous logical run of ref-counted block ids."""
+
+    block_ids: List[int]
+    n_tokens: int
+    released: bool = False
+
+
+class BlockManager:
+    """Fixed-pool allocator with ref counting.
+
+    Parameters
+    ----------
+    capacity_tokens:
+        Total KV token capacity (device memory / bytes-per-token).
+    block_tokens:
+        Tokens per block (16 in vLLM by default).
+    """
+
+    def __init__(self, capacity_tokens: int, block_tokens: int = 16):
+        if capacity_tokens <= 0 or block_tokens <= 0:
+            raise ServingError("capacity_tokens and block_tokens must be positive")
+        self.block_tokens = block_tokens
+        self.n_blocks = capacity_tokens // block_tokens
+        self._free: List[int] = list(range(self.n_blocks))
+        self._refs: Dict[int, int] = {}
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.n_blocks - len(self._free)
+
+    @property
+    def free_tokens(self) -> int:
+        return self.free_blocks * self.block_tokens
+
+    def blocks_needed(self, n_tokens: int) -> int:
+        return (n_tokens + self.block_tokens - 1) // self.block_tokens
+
+    def can_allocate(self, n_tokens: int) -> bool:
+        return self.blocks_needed(n_tokens) <= self.free_blocks
+
+    def allocate(self, n_tokens: int) -> BlockAllocation:
+        """Allocate blocks for ``n_tokens``; raises :class:`CapacityError`
+        when the pool cannot satisfy the request."""
+        need = self.blocks_needed(n_tokens)
+        if need > self.free_blocks:
+            raise CapacityError(
+                f"need {need} blocks for {n_tokens} tokens, only {self.free_blocks} free"
+            )
+        ids = [self._free.pop() for _ in range(need)]
+        for b in ids:
+            self._refs[b] = 1
+        return BlockAllocation(block_ids=ids, n_tokens=n_tokens)
+
+    def fork(self, alloc: BlockAllocation) -> BlockAllocation:
+        """Share an allocation copy-free: bump every block's refcount."""
+        if alloc.released:
+            raise ServingError("fork of a released allocation")
+        for b in alloc.block_ids:
+            if self._refs.get(b, 0) <= 0:
+                raise ServingError(f"fork of freed block {b}")
+            self._refs[b] += 1
+        return BlockAllocation(block_ids=list(alloc.block_ids), n_tokens=alloc.n_tokens)
+
+    def release(self, alloc: BlockAllocation) -> None:
+        """Drop one reference to each block; free blocks reaching zero."""
+        if alloc.released:
+            raise ServingError("double free of allocation")
+        for b in alloc.block_ids:
+            refs = self._refs.get(b, 0)
+            if refs <= 0:
+                raise ServingError(f"double free of block {b}")
+            if refs == 1:
+                del self._refs[b]
+                self._free.append(b)
+            else:
+                self._refs[b] = refs - 1
+        alloc.released = True
+
+    def grow(self, alloc: BlockAllocation, extra_tokens: int) -> None:
+        """Extend an allocation in place (decode appends tokens)."""
+        if alloc.released:
+            raise ServingError("grow of a released allocation")
+        new_total = alloc.n_tokens + extra_tokens
+        need = self.blocks_needed(new_total) - len(alloc.block_ids)
+        if need > self.free_blocks:
+            raise CapacityError(
+                f"grow needs {need} blocks, only {self.free_blocks} free"
+            )
+        for _ in range(need):
+            b = self._free.pop()
+            self._refs[b] = 1
+            alloc.block_ids.append(b)
+        alloc.n_tokens = new_total
+
+    def check_invariants(self) -> None:
+        refs_blocks = set(self._refs)
+        free_blocks = set(self._free)
+        if refs_blocks & free_blocks:
+            raise ServingError("block appears both free and referenced")
+        if len(free_blocks) != len(self._free):
+            raise ServingError("duplicate block in free list")
+        if len(refs_blocks) + len(free_blocks) != self.n_blocks:
+            raise ServingError("blocks leaked or invented")
+        if any(r <= 0 for r in self._refs.values()):
+            raise ServingError("non-positive refcount recorded")

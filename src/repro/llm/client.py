@@ -1,0 +1,105 @@
+"""High-level client over the simulated engine: strings in, answers out.
+
+The client owns a tokenizer and a persistent engine, so successive
+``generate`` calls share the server-side prefix cache exactly like a
+long-lived vLLM deployment (the multi-invocation T3 queries depend on
+this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
+from repro.llm.hardware import CLUSTER_1XL4, Cluster
+from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.request import Request
+from repro.llm.tokenizer import HashTokenizer
+
+
+@dataclass
+class BatchResult:
+    """Outputs plus serving metrics for one generate() call."""
+
+    outputs: List[str]
+    engine_result: EngineResult
+
+    @property
+    def total_seconds(self) -> float:
+        return self.engine_result.total_seconds
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        return self.engine_result.prefix_hit_rate
+
+
+class SimulatedLLMClient:
+    """Batch-generation client backed by :class:`SimulatedLLMEngine`."""
+
+    def __init__(
+        self,
+        model: ModelSpec = LLAMA3_8B,
+        cluster: Cluster = CLUSTER_1XL4,
+        engine_config: Optional[EngineConfig] = None,
+        tokenizer: Optional[HashTokenizer] = None,
+    ):
+        self.model = model
+        self.cluster = cluster
+        self.engine_config = engine_config or EngineConfig()
+        self.tokenizer = tokenizer or HashTokenizer()
+        self.engine = SimulatedLLMEngine(model=model, cluster=cluster, config=self.engine_config)
+        self._next_id = 0
+
+    def generate(
+        self,
+        prompts: Sequence[str],
+        outputs: Optional[Sequence[str]] = None,
+        output_lens: Optional[Sequence[int]] = None,
+        default_output_len: int = 16,
+    ) -> BatchResult:
+        """Run one batch job in the given prompt order.
+
+        The simulated "model" does not invent text: callers supply the
+        answer strings (``outputs``, produced by the task's labeler/judge)
+        or just their lengths (``output_lens``). Decode time is charged for
+        the corresponding number of tokens either way.
+        """
+        if outputs is not None and len(outputs) != len(prompts):
+            raise ServingError("outputs must align with prompts")
+        if output_lens is not None and len(output_lens) != len(prompts):
+            raise ServingError("output_lens must align with prompts")
+
+        requests: List[Request] = []
+        out_texts: List[str] = []
+        for i, prompt in enumerate(prompts):
+            if outputs is not None:
+                text = outputs[i]
+                n_out = max(1, self.tokenizer.count(text))
+            elif output_lens is not None:
+                text = ""
+                n_out = output_lens[i]
+            else:
+                text = ""
+                n_out = default_output_len
+            out_texts.append(text)
+            requests.append(
+                Request(
+                    request_id=self._next_id,
+                    prompt_tokens=tuple(self.tokenizer.encode(prompt)),
+                    output_tokens=n_out,
+                    output_text=text,
+                )
+            )
+            self._next_id += 1
+
+        self.engine.submit_all(requests)
+        result = self.engine.run()
+        return BatchResult(outputs=out_texts, engine_result=result)
+
+    def reset_cache(self) -> None:
+        """Fresh server state (new engine, same tokenizer)."""
+        self.engine = SimulatedLLMEngine(
+            model=self.model, cluster=self.cluster, config=self.engine_config
+        )

@@ -1,0 +1,80 @@
+"""GPU and cluster specifications used by the cost model.
+
+Numbers are public datasheet values derated to sustained utilization; the
+simulator only needs them to be *mutually consistent* (the paper's cited
+envelope — ~2 000 tok/s prefill for Llama-3-8B on one L4 — falls out of
+these constants, see ``tests/llm/test_costmodel.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator.
+
+    Attributes
+    ----------
+    name: marketing name.
+    mem_bytes: usable device memory.
+    mem_bandwidth: sustained HBM/GDDR bandwidth, bytes/s.
+    flops: dense half-precision FLOP/s (before MFU derating).
+    """
+
+    name: str
+    mem_bytes: float
+    mem_bandwidth: float
+    flops: float
+
+    def __post_init__(self):
+        if min(self.mem_bytes, self.mem_bandwidth, self.flops) <= 0:
+            raise ServingError(f"non-positive GPU spec for {self.name}")
+
+
+#: NVIDIA L4: 24 GB GDDR6, ~300 GB/s, ~121 TFLOPS FP8 / ~60 TFLOPS dense FP16.
+L4 = GPUSpec(name="L4", mem_bytes=24e9, mem_bandwidth=300e9, flops=60e12)
+
+#: NVIDIA A100-80G for what-if studies (not used by the paper's main runs).
+A100_80G = GPUSpec(name="A100-80G", mem_bytes=80e9, mem_bandwidth=2.0e12, flops=312e12)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A tensor-parallel group of identical GPUs.
+
+    ``tp_efficiency`` derates aggregate FLOPs/bandwidth for communication
+    overhead; memory capacity adds up without loss.
+    """
+
+    gpu: GPUSpec
+    n_gpus: int = 1
+    tp_efficiency: float = 0.8
+
+    def __post_init__(self):
+        if self.n_gpus < 1:
+            raise ServingError("cluster needs at least one GPU")
+        if not 0 < self.tp_efficiency <= 1:
+            raise ServingError("tp_efficiency must be in (0, 1]")
+
+    @property
+    def total_mem_bytes(self) -> float:
+        return self.gpu.mem_bytes * self.n_gpus
+
+    @property
+    def effective_flops(self) -> float:
+        scale = 1.0 if self.n_gpus == 1 else self.tp_efficiency
+        return self.gpu.flops * self.n_gpus * scale
+
+    @property
+    def effective_bandwidth(self) -> float:
+        scale = 1.0 if self.n_gpus == 1 else self.tp_efficiency
+        return self.gpu.mem_bandwidth * self.n_gpus * scale
+
+
+#: The paper's two rigs (GCP g2-standard-4 and g2-standard-48).
+CLUSTER_1XL4 = Cluster(gpu=L4, n_gpus=1)
+CLUSTER_8XL4 = Cluster(gpu=L4, n_gpus=8)

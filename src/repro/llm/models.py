@@ -1,0 +1,73 @@
+"""Model registry: architecture constants for the models the paper runs.
+
+``kv_bytes_per_token`` follows the GQA KV-cache formula
+``2 (K+V) * n_layers * n_kv_heads * head_dim * 2 bytes (fp16)``; weight
+bytes are set to the on-device footprints the paper quotes (7.6 GB for
+Llama-3-8B, 1.8 GB for Llama-3.2-1B — 8-bit-ish serving builds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture + deployment constants for one servable model."""
+
+    name: str
+    n_params: float
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    weight_bytes: float
+
+    def __post_init__(self):
+        if min(self.n_params, self.n_layers, self.n_heads, self.n_kv_heads,
+               self.head_dim, self.weight_bytes) <= 0:
+            raise ServingError(f"non-positive model spec for {self.name}")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.n_heads * self.head_dim
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """fp16 K+V bytes cached per token."""
+        return 2 * self.n_layers * self.n_kv_heads * self.head_dim * 2
+
+
+LLAMA3_8B = ModelSpec(
+    name="Llama-3-8B-Instruct",
+    n_params=8.0e9,
+    n_layers=32,
+    n_heads=32,
+    n_kv_heads=8,
+    head_dim=128,
+    weight_bytes=7.6e9,
+)
+
+LLAMA3_70B = ModelSpec(
+    name="Llama-3-70B-Instruct",
+    n_params=70.6e9,
+    n_layers=80,
+    n_heads=64,
+    n_kv_heads=8,
+    head_dim=128,
+    weight_bytes=70.0e9,
+)
+
+LLAMA3_1B = ModelSpec(
+    name="Llama-3.2-1B-Instruct",
+    n_params=1.24e9,
+    n_layers=16,
+    n_heads=32,
+    n_kv_heads=8,
+    head_dim=64,
+    weight_bytes=1.8e9,
+)
+
+MODELS = {m.name: m for m in (LLAMA3_8B, LLAMA3_70B, LLAMA3_1B)}

@@ -1,0 +1,216 @@
+"""RadixAttention-style prefix cache over token sequences.
+
+The cache stores every served prompt as a path in a compressed radix tree.
+A new prompt's longest cached prefix can be reused from the KV cache,
+skipping its prefill. Mirrors the structure SGLang/vLLM use:
+
+* compressed edges (token spans), split on partial match;
+* LRU eviction at leaf granularity, so interior (widely shared) prefixes
+  outlive their rarely-used extensions;
+* protected paths — the engine passes the prompts of *running* requests to
+  :meth:`evict`, and any node on those paths is skipped (vLLM pins blocks
+  referenced by scheduled sequences the same way).
+
+Token counts are the currency: the engine charges the tree's
+``total_tokens`` against KV memory and asks it to ``evict`` under pressure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ServingError
+
+
+class _Node:
+    __slots__ = ("edge", "children", "parent", "last_access", "node_id")
+
+    _ids = itertools.count()
+
+    def __init__(self, edge: Tuple[int, ...], parent: Optional["_Node"]):
+        self.edge = edge
+        self.children: Dict[int, "_Node"] = {}
+        self.parent = parent
+        self.last_access = 0
+        self.node_id = next(_Node._ids)
+
+
+def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
+    n = min(len(a), len(b))
+    if n and tuple(a[:n]) == tuple(b[:n]):
+        return n
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+class RadixPrefixCache:
+    """Prefix cache with LRU eviction and protected (pinned) paths."""
+
+    def __init__(self):
+        self.root = _Node(edge=(), parent=None)
+        self.total_tokens = 0
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evicted_tokens = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def match(self, tokens: Sequence[int]) -> int:
+        """Length of the longest cached prefix of ``tokens``.
+
+        Refreshes LRU timestamps along the matched path.
+        """
+        now = self._tick()
+        node = self.root
+        node.last_access = now
+        pos = 0
+        tokens = tuple(tokens)
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            edge = child.edge
+            k = len(edge)
+            if tokens[pos : pos + k] == edge:
+                child.last_access = now
+                pos += k
+                node = child
+                continue
+            k = _common_prefix_len(edge, tokens[pos:])
+            if k == 0:
+                break
+            child.last_access = now
+            pos += k
+            break
+        if pos > 0:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return pos
+
+    def insert(self, tokens: Sequence[int]) -> int:
+        """Cache ``tokens``; returns the number of *newly* cached tokens."""
+        now = self._tick()
+        node = self.root
+        node.last_access = now
+        pos = 0
+        tokens = tuple(tokens)
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                leaf = _Node(edge=tokens[pos:], parent=node)
+                leaf.last_access = now
+                node.children[tokens[pos]] = leaf
+                added = len(leaf.edge)
+                self.total_tokens += added
+                return added
+            edge = child.edge
+            k = len(edge)
+            if tokens[pos : pos + k] == edge:
+                child.last_access = now
+                pos += k
+                node = child
+                continue
+            k = _common_prefix_len(edge, tokens[pos:])
+            child.last_access = now
+            # Split the edge at k; the existing tail keeps its subtree.
+            head, tail = edge[:k], edge[k:]
+            mid = _Node(edge=head, parent=node)
+            mid.last_access = now
+            node.children[tokens[pos]] = mid
+            child.edge = tail
+            child.parent = mid
+            mid.children[tail[0]] = child
+            node = mid
+            pos += k
+        return 0
+
+    def path_node_ids(self, tokens: Sequence[int]) -> Set[int]:
+        """Ids of nodes along the cached path of ``tokens`` (tolerant walk:
+        stops wherever the cache diverges). Used to protect running
+        requests' prompts from eviction."""
+        ids: Set[int] = set()
+        node = self.root
+        pos = 0
+        tokens = tuple(tokens)
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            k = _common_prefix_len(child.edge, tokens[pos:])
+            if k == 0:
+                break
+            ids.add(child.node_id)
+            pos += k
+            if k < len(child.edge):
+                break
+            node = child
+        return ids
+
+    def evict(
+        self, n_tokens: int, protected: Iterable[Sequence[int]] = ()
+    ) -> int:
+        """Evict LRU leaves until >= ``n_tokens`` freed or nothing remains.
+
+        ``protected`` are token sequences (running prompts) whose paths must
+        survive. Returns tokens actually freed.
+        """
+        protected_ids: Set[int] = set()
+        for seq in protected:
+            protected_ids |= self.path_node_ids(seq)
+        freed = 0
+        while freed < n_tokens:
+            victim = self._lru_leaf(protected_ids)
+            if victim is None:
+                break
+            freed += len(victim.edge)
+            self.total_tokens -= len(victim.edge)
+            self.evicted_tokens += len(victim.edge)
+            parent = victim.parent
+            assert parent is not None
+            del parent.children[victim.edge[0]]
+        return freed
+
+    def _lru_leaf(self, protected_ids: Set[int]) -> Optional[_Node]:
+        best: Optional[_Node] = None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if (
+                node is not self.root
+                and not node.children
+                and node.node_id not in protected_ids
+            ):
+                if best is None or node.last_access < best.last_access:
+                    best = node
+            stack.extend(node.children.values())
+        return best
+
+    def check_invariants(self) -> None:
+        """Debug/testing: verify token accounting and tree structure."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is not self.root:
+                if not node.edge:
+                    raise ServingError("non-root node with empty edge")
+                if node.parent is None:
+                    raise ServingError("non-root node without parent")
+                count += len(node.edge)
+            for first, child in node.children.items():
+                if child.edge[0] != first:
+                    raise ServingError("child keyed by wrong first token")
+                if child.parent is not node:
+                    raise ServingError("parent pointer corrupted")
+                stack.append(child)
+        if count != self.total_tokens:
+            raise ServingError(
+                f"token accounting drift: counted {count}, recorded {self.total_tokens}"
+            )

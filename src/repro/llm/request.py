@@ -1,0 +1,49 @@
+"""Request and per-request metric records for the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Request:
+    """One generation request.
+
+    ``prompt_tokens`` is the tokenized prompt; ``output_tokens`` the number
+    of tokens the simulated model will decode (the benchmark queries derive
+    it from the dataset's answer text / Table 1 output lengths).
+    """
+
+    request_id: int
+    prompt_tokens: Tuple[int, ...]
+    output_tokens: int
+    output_text: str = ""
+
+    def __post_init__(self):
+        if self.output_tokens < 0:
+            raise ValueError("output_tokens must be >= 0")
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_tokens)
+
+
+@dataclass
+class RequestMetrics:
+    """Filled in by the engine as the request moves through its lifecycle."""
+
+    request_id: int
+    prompt_tokens: int = 0
+    cached_tokens: int = 0
+    prefill_tokens: int = 0
+    output_tokens: int = 0
+    admitted_at_s: float = 0.0
+    first_token_at_s: float = 0.0
+    finished_at_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.cached_tokens / self.prompt_tokens

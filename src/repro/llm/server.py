@@ -1,0 +1,124 @@
+"""Batch inference server facade: the deployment-shaped API.
+
+Where :class:`~repro.llm.client.SimulatedLLMClient` is one call = one batch,
+the server models a long-lived endpoint: jobs are submitted by name, share
+the engine's prefix cache across jobs (or not, per job), and the server
+keeps per-job and lifetime statistics — the view an operator of the paper's
+system would monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.llm.client import BatchResult, SimulatedLLMClient
+from repro.llm.engine import EngineConfig
+from repro.llm.hardware import CLUSTER_1XL4, Cluster
+from repro.llm.models import LLAMA3_8B, ModelSpec
+
+
+@dataclass
+class JobStats:
+    """Per-job accounting kept by the server."""
+
+    job_id: str
+    n_requests: int
+    prompt_tokens: int
+    cached_tokens: int
+    output_tokens: int
+    seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached_tokens / self.prompt_tokens if self.prompt_tokens else 0.0
+
+
+@dataclass
+class ServerStats:
+    """Lifetime rollup."""
+
+    jobs: List[JobStats] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(j.seconds for j in self.jobs)
+
+    @property
+    def lifetime_hit_rate(self) -> float:
+        p = sum(j.prompt_tokens for j in self.jobs)
+        c = sum(j.cached_tokens for j in self.jobs)
+        return c / p if p else 0.0
+
+
+class BatchInferenceServer:
+    """A persistent simulated serving endpoint.
+
+    >>> server = BatchInferenceServer()
+    >>> result = server.submit_job("nightly-etl", prompts, output_lens=[2]*len(prompts))
+    >>> server.stats.lifetime_hit_rate
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec = LLAMA3_8B,
+        cluster: Cluster = CLUSTER_1XL4,
+        engine_config: Optional[EngineConfig] = None,
+    ):
+        self.client = SimulatedLLMClient(
+            model=model, cluster=cluster, engine_config=engine_config
+        )
+        self.stats = ServerStats()
+        self._job_ids: set = set()
+
+    def submit_job(
+        self,
+        job_id: str,
+        prompts: Sequence[str],
+        outputs: Optional[Sequence[str]] = None,
+        output_lens: Optional[Sequence[int]] = None,
+        fresh_cache: bool = False,
+    ) -> BatchResult:
+        """Run one batch job; the prefix cache persists across jobs unless
+        ``fresh_cache`` is set (tenant isolation / fair measurement)."""
+        if job_id in self._job_ids:
+            raise ServingError(f"duplicate job id {job_id!r}")
+        if not prompts:
+            raise ServingError("job has no prompts")
+        self._job_ids.add(job_id)
+        if fresh_cache:
+            self.client.reset_cache()
+        result = self.client.generate(prompts, outputs=outputs, output_lens=output_lens)
+        er = result.engine_result
+        self.stats.jobs.append(
+            JobStats(
+                job_id=job_id,
+                n_requests=len(prompts),
+                prompt_tokens=er.prompt_tokens,
+                cached_tokens=er.cached_tokens,
+                output_tokens=er.decode_tokens,
+                seconds=er.total_seconds,
+            )
+        )
+        return result
+
+    def job(self, job_id: str) -> JobStats:
+        for j in self.stats.jobs:
+            if j.job_id == job_id:
+                return j
+        raise ServingError(f"unknown job {job_id!r}")
+
+    def report(self) -> str:
+        """Operator-style text report."""
+        lines = ["job            reqs   prompt_tok  hit%    out_tok   seconds"]
+        for j in self.stats.jobs:
+            lines.append(
+                f"{j.job_id:<14} {j.n_requests:>5}  {j.prompt_tokens:>10}  "
+                f"{100 * j.hit_rate:5.1f}%  {j.output_tokens:>7}  {j.seconds:8.2f}"
+            )
+        lines.append(
+            f"lifetime hit rate {100 * self.stats.lifetime_hit_rate:.1f}% over "
+            f"{len(self.stats.jobs)} jobs, {self.stats.total_seconds:.2f}s simulated"
+        )
+        return "\n".join(lines)

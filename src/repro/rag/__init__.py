@@ -1,0 +1,15 @@
+"""RAG substrate: deterministic embeddings + brute-force vector search.
+
+Substitutes the paper's gte-base-en-v1.5 embedder and FAISS index (S6 in
+DESIGN.md): a feature-hashing bag-of-words embedder and an exact cosine
+KNN index. Retrieval quality only needs to be *good enough to retrieve
+topically related passages* — the evaluation measures cache behaviour of
+the resulting context tables, and questions generated from a passage share
+its vocabulary, so hashing embeddings retrieve the right neighborhoods.
+"""
+
+from repro.rag.embedding import HashingEmbedder
+from repro.rag.retriever import Retriever
+from repro.rag.vectorstore import VectorIndex
+
+__all__ = ["HashingEmbedder", "VectorIndex", "Retriever"]

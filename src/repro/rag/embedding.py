@@ -1,0 +1,48 @@
+"""Feature-hashing bag-of-words embedder (stand-in for gte-base).
+
+Each token hashes to a dimension with a deterministic sign; vectors are
+L2-normalized so cosine similarity is an inner product. No learned weights
+— similarity is purely lexical overlap, which matches how the synthetic
+questions are generated (they quote words from their source passage).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import List, Sequence
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _hash(token: str, salt: str) -> int:
+    digest = hashlib.blake2b(f"{salt}:{token}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingEmbedder:
+    """Map texts to unit vectors in ``dim`` dimensions."""
+
+    def __init__(self, dim: int = 256):
+        if dim < 8:
+            raise ValueError("dim must be >= 8")
+        self.dim = dim
+
+    def embed_one(self, text: str) -> np.ndarray:
+        vec = np.zeros(self.dim, dtype=np.float64)
+        for token in _TOKEN_RE.findall(text.lower()):
+            h = _hash(token, "idx")
+            sign = 1.0 if _hash(token, "sign") & 1 else -1.0
+            vec[h % self.dim] += sign
+        norm = np.linalg.norm(vec)
+        if norm > 0:
+            vec /= norm
+        return vec
+
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        """(n, dim) matrix of unit rows (zero rows for empty texts)."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed_one(t) for t in texts])

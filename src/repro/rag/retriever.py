@@ -1,0 +1,59 @@
+"""Retriever: corpus -> per-question context table (the T5 input).
+
+The paper embeds all supporting contexts into a vector index and fetches
+the top-k per question; the resulting (question, context1..k) table is what
+GGR reorders — "multiple questions might share similar contexts, and
+Cache (GGR) can rearrange contexts to maximize prefix reuse" (§6.2 RAG).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.rag.embedding import HashingEmbedder
+from repro.rag.vectorstore import VectorIndex
+from repro.relational.table import Table
+
+
+class Retriever:
+    """Embeds a corpus once, then answers KNN context queries."""
+
+    def __init__(self, corpus: Sequence[str], embedder: Optional[HashingEmbedder] = None):
+        if not corpus:
+            raise ReproError("retriever needs a non-empty corpus")
+        self.corpus = list(corpus)
+        self.embedder = embedder or HashingEmbedder()
+        self.index = VectorIndex(self.embedder.dim)
+        self.index.add(range(len(self.corpus)), self.embedder.embed(self.corpus))
+
+    def retrieve(self, questions: Sequence[str], k: int) -> List[List[str]]:
+        """Top-``k`` passages per question, most-similar first."""
+        if k < 1:
+            raise ReproError("k must be >= 1")
+        qvecs = self.embedder.embed(questions)
+        ids, _ = self.index.search(qvecs, k)
+        out: List[List[str]] = []
+        for row in ids:
+            out.append([self.corpus[i] if i >= 0 else "" for i in row])
+        return out
+
+    def retrieve_table(
+        self,
+        questions: Sequence[str],
+        k: int,
+        question_field: str = "question",
+        context_prefix: str = "context",
+    ) -> Table:
+        """Build the (question, context1..k) table the T5 queries run over.
+
+        Column order matches the paper's Appendix B listings: the question/
+        claim field first, contexts after it.
+        """
+        contexts = self.retrieve(questions, k)
+        cols = {question_field: list(questions)}
+        for j in range(k):
+            cols[f"{context_prefix}{j + 1}"] = [ctx[j] for ctx in contexts]
+        return Table(cols, name="rag")

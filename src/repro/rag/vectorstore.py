@@ -1,0 +1,71 @@
+"""Exact KNN vector index (stand-in for FAISS).
+
+Brute-force cosine search via one matmul — exact, deterministic, and fast
+enough for the corpus sizes the benchmark uses (thousands of passages).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class VectorIndex:
+    """Append-only dense index over unit vectors."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._chunks: List[np.ndarray] = []
+        self._ids: List[int] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ReproError(
+                f"expected (n, {self.dim}) vectors, got {vectors.shape}"
+            )
+        if len(ids) != vectors.shape[0]:
+            raise ReproError("ids and vectors must align")
+        self._chunks.append(np.asarray(vectors, dtype=np.float64))
+        self._ids.extend(int(i) for i in ids)
+        self._matrix = None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _mat(self) -> np.ndarray:
+        if self._matrix is None:
+            if not self._chunks:
+                self._matrix = np.zeros((0, self.dim), dtype=np.float64)
+            else:
+                self._matrix = np.vstack(self._chunks)
+        return self._matrix
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, scores)`` of shape (nq, k), cosine-descending.
+
+        Ties break by insertion order for determinism. If the index holds
+        fewer than ``k`` items, results are padded with id -1 / score -inf.
+        """
+        mat = self._mat()
+        nq = queries.shape[0]
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ReproError(f"expected (nq, {self.dim}) queries, got {queries.shape}")
+        ids_arr = np.asarray(self._ids)
+        n = mat.shape[0]
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_scores = np.full((nq, k), -np.inf, dtype=np.float64)
+        if n == 0 or nq == 0:
+            return out_ids, out_scores
+        scores = queries @ mat.T  # (nq, n)
+        take = min(k, n)
+        # argsort on (-score, insertion index) for stable deterministic ties.
+        order = np.lexsort((np.arange(n)[None, :].repeat(nq, 0), -scores), axis=1)
+        top = order[:, :take]
+        rows = np.arange(nq)[:, None]
+        out_ids[:, :take] = ids_arr[top]
+        out_scores[:, :take] = scores[rows, top]
+        return out_ids, out_scores

@@ -1,0 +1,105 @@
+"""Catalog (named tables + their FDs/stats) and the Database facade.
+
+The catalog is the bridge the paper assumes: "functional dependencies
+(such as primary and foreign key relationships from the data schema) and
+table statistics ... are readily available in many databases" (§1). The
+:class:`Database` facade wires catalog + SQL front-end + LLM runtime into
+one entry point:
+
+    db = Database(runtime=LLMRuntime(client=...))
+    db.register("movies", movies_table, fds=movies_fds)
+    result = db.sql("SELECT movietitle FROM movies WHERE LLM('...', ...) = 'Yes'")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.fd import FunctionalDependencies
+from repro.core.stats import TableStats
+from repro.errors import SchemaError
+from repro.relational.expressions import ExecutionContext
+from repro.relational.llm_functions import LLMRuntime
+from repro.relational.table import Table
+
+
+@dataclass
+class CatalogEntry:
+    table: Table
+    fds: FunctionalDependencies
+    stats: TableStats
+
+
+class Catalog:
+    """Named tables with attached metadata."""
+
+    def __init__(self):
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        table: Table,
+        fds: Optional[FunctionalDependencies] = None,
+    ) -> None:
+        self._entries[name.lower()] = CatalogEntry(
+            table=table,
+            fds=fds or FunctionalDependencies.empty(),
+            stats=TableStats.compute(table.to_reorder_table()),
+        )
+
+    def _entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown table {name!r}; registered: {sorted(self._entries)}"
+            ) from None
+
+    def get_table(self, name: str) -> Table:
+        return self._entry(name).table
+
+    def get_fds(self, name: str) -> FunctionalDependencies:
+        return self._entry(name).fds
+
+    def get_stats(self, name: str) -> TableStats:
+        return self._entry(name).stats
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+
+class Database:
+    """SQL-facing facade over the catalog and an LLM runtime."""
+
+    def __init__(self, runtime: Optional[LLMRuntime] = None):
+        self.catalog = Catalog()
+        self.runtime = runtime or LLMRuntime()
+
+    def register(
+        self,
+        name: str,
+        table: Table,
+        fds: Optional[FunctionalDependencies] = None,
+    ) -> None:
+        self.catalog.register(name, table, fds=fds)
+
+    def context(self, fds: Optional[FunctionalDependencies] = None) -> ExecutionContext:
+        return ExecutionContext(
+            llm_runtime=self.runtime, catalog=self.catalog, fds=fds
+        )
+
+    def sql(self, query: str) -> Table:
+        """Parse, plan, and execute a SQL string.
+
+        The FDs of every catalog table the plan scans are merged and made
+        available to LLM operators via the execution context (the runtime's
+        own ``fds``, if set, take precedence)."""
+        from repro.relational.sql import collect_scan_names, plan_sql
+
+        plan = plan_sql(query)
+        merged = FunctionalDependencies.empty()
+        for name in collect_scan_names(plan):
+            merged = merged.merge(self.catalog.get_fds(name))
+        return plan.execute(self.context(fds=merged if len(merged) else None))

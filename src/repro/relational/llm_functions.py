@@ -1,0 +1,160 @@
+"""The LLM operator: where request reordering meets query execution (§5).
+
+``LLMRuntime.execute`` is invoked once per ``LLM(...)`` expression in a
+query. It:
+
+1. projects the touched fields into a :class:`ReorderTable`;
+2. runs the configured reordering policy (GGR by default, with the source
+   table's functional dependencies);
+3. serializes one JSON prompt per scheduled row (Appendix C format);
+4. obtains the answer text for each row from the ``answerer`` — the
+   simulated model behaviour supplied by the dataset/task (or a judge for
+   accuracy studies, which sees the *scheduled* cell order, so position
+   effects are faithfully modelled);
+5. optionally replays the prompt schedule through the serving simulator to
+   charge realistic time and measure the achieved prefix hit rate;
+6. scatters answers back to the original row order — reordering never
+   changes query semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.fd import FunctionalDependencies
+from repro.core.ggr import GGRConfig
+from repro.core.reorder import ReorderResult, reorder
+from repro.core.table import Cell
+from repro.llm.client import SimulatedLLMClient
+from repro.llm.engine import EngineResult
+from repro.llm.prompts import build_prompt
+from repro.relational.expressions import LLMExpr
+from repro.relational.table import Table
+
+#: Signature of a simulated model: (query, cells in prompt order, row id) -> text.
+Answerer = Callable[[str, Tuple[Cell, ...], int], str]
+
+
+def default_answerer(query: str, cells: Tuple[Cell, ...], row_id: int) -> str:
+    """Placeholder model used when a task supplies no behaviour."""
+    return "OK"
+
+
+@dataclass
+class LLMCallStats:
+    """Telemetry for one LLM operator invocation."""
+
+    query: str
+    n_rows: int
+    policy: str
+    solver_seconds: float
+    exact_phc: int
+    schedule_phr: float
+    engine_result: Optional[EngineResult] = None
+
+    @property
+    def engine_seconds(self) -> float:
+        return self.engine_result.total_seconds if self.engine_result else 0.0
+
+    @property
+    def measured_phr(self) -> float:
+        """Token-level PHR measured by the serving engine (Table 2)."""
+        if self.engine_result is None:
+            return self.schedule_phr
+        return self.engine_result.prefix_hit_rate
+
+
+@dataclass
+class LLMRuntime:
+    """Executes LLM expressions under a reordering policy.
+
+    Parameters
+    ----------
+    client:
+        Serving simulator client; ``None`` skips timing (solver-only runs,
+        used by fast tests and the solver-time experiments).
+    policy:
+        Reordering policy name (see :data:`repro.core.reorder.POLICIES`).
+    fds:
+        Functional dependencies of the source data (restricted per call to
+        the touched fields).
+    answerer:
+        Simulated model behaviour; see :data:`Answerer`.
+    """
+
+    client: Optional[SimulatedLLMClient] = None
+    policy: str = "ggr"
+    fds: Optional[FunctionalDependencies] = None
+    ggr_config: Optional[GGRConfig] = None
+    answerer: Answerer = default_answerer
+    validate: bool = False
+    calls: List[LLMCallStats] = field(default_factory=list)
+
+    def execute(
+        self,
+        table: Table,
+        expr: LLMExpr,
+        fds: Optional[FunctionalDependencies] = None,
+    ) -> List[str]:
+        """Run one LLM operator over ``table``; returns answers aligned to
+        the table's row order. ``fds`` (from the execution context) is used
+        when the runtime has none of its own."""
+        fields = expr.expanded_fields(table)
+        sub = table.to_reorder_table(fields)
+        effective_fds = self.fds if self.fds is not None else fds
+        fds = effective_fds.restrict(fields) if effective_fds is not None else None
+        result: ReorderResult = reorder(
+            sub,
+            policy=self.policy,
+            fds=fds,
+            config=self.ggr_config,
+            validate=self.validate,
+        )
+
+        prompts: List[str] = []
+        answers_scheduled: List[str] = []
+        for row in result.schedule.rows:
+            prompts.append(build_prompt(expr.query, row.cells))
+            answers_scheduled.append(self.answerer(expr.query, row.cells, row.row_id))
+
+        engine_result = None
+        if self.client is not None and prompts:
+            batch = self.client.generate(prompts, outputs=answers_scheduled)
+            engine_result = batch.engine_result
+
+        self.calls.append(
+            LLMCallStats(
+                query=expr.query,
+                n_rows=table.n_rows,
+                policy=self.policy,
+                solver_seconds=result.solver_seconds,
+                exact_phc=result.exact_phc,
+                schedule_phr=result.exact_phr,
+                engine_result=engine_result,
+            )
+        )
+
+        answers = [""] * table.n_rows
+        for row, text in zip(result.schedule.rows, answers_scheduled):
+            answers[row.row_id] = text
+        return answers
+
+    # ------------------------------------------------------------- rollups
+    @property
+    def total_engine_seconds(self) -> float:
+        return sum(c.engine_seconds for c in self.calls)
+
+    @property
+    def total_solver_seconds(self) -> float:
+        return sum(c.solver_seconds for c in self.calls)
+
+    @property
+    def overall_phr(self) -> float:
+        """Prompt-token-weighted PHR across all calls."""
+        num = den = 0
+        for c in self.calls:
+            if c.engine_result is not None:
+                num += c.engine_result.cached_tokens
+                den += c.engine_result.prompt_tokens
+        return num / den if den else 0.0

@@ -1,0 +1,167 @@
+"""Physical operators: a tree of these executes a query bottom-up.
+
+Deliberately minimal — the paper needs scan, filter, project, inner join,
+aggregate (for the T4 ``AVG(LLM(...))`` queries), and limit. Aggregate
+functions coerce LLM string outputs to floats, matching the paper's usage
+of numeric sentiment scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, SQLError
+from repro.relational.expressions import Col, ExecutionContext, Expr
+from repro.relational.table import Table
+
+
+class PlanNode:
+    def execute(self, ctx: ExecutionContext) -> Table:
+        raise NotImplementedError
+
+
+@dataclass
+class TableSource(PlanNode):
+    """Scan of an in-memory table."""
+
+    table: Table
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return self.table
+
+
+@dataclass
+class CatalogScan(PlanNode):
+    """Scan of a named table resolved through the catalog."""
+
+    name: str
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        if ctx.catalog is None:
+            raise SQLError(f"no catalog available to resolve table {self.name!r}")
+        return ctx.catalog.get_table(self.name)
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        table = self.child.execute(ctx)
+        mask = [bool(v) for v in self.predicate.eval(table, ctx)]
+        return table.filter(mask)
+
+
+@dataclass
+class Project(PlanNode):
+    """Evaluate (expr, alias) pairs into output columns."""
+
+    child: PlanNode
+    items: List[Tuple[Expr, str]]
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        table = self.child.execute(ctx)
+        cols: Dict[str, List[Any]] = {}
+        for expr, alias in self.items:
+            if alias in cols:
+                raise SchemaError(f"duplicate output column {alias!r}")
+            cols[alias] = list(expr.eval(table, ctx))
+        return Table(cols, name=table.name)
+
+
+@dataclass
+class Join(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    left_col: str
+    right_col: str
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        lt = self.left.execute(ctx)
+        rt = self.right.execute(ctx)
+        lcol = Col(self.left_col).resolve(lt)
+        rcol = Col(self.right_col).resolve(rt)
+        return lt.join(rt, lcol, rcol)
+
+
+_AGG_FNS = ("AVG", "SUM", "COUNT", "MIN", "MAX")
+
+
+def _to_number(value: Any) -> float:
+    """Coerce an (often LLM-produced) value to a float; non-numeric answers
+    are dropped by the caller."""
+    if isinstance(value, bool):
+        return float(value)
+    return float(str(value).strip())
+
+
+def _aggregate(fn: str, values: Sequence[Any]) -> Any:
+    if fn == "COUNT":
+        return len(values)
+    nums: List[float] = []
+    for v in values:
+        try:
+            nums.append(_to_number(v))
+        except (TypeError, ValueError):
+            continue  # skip malformed LLM outputs, as the paper's AVG does
+    if not nums:
+        return None
+    if fn == "AVG":
+        return sum(nums) / len(nums)
+    if fn == "SUM":
+        return sum(nums)
+    if fn == "MIN":
+        return min(nums)
+    if fn == "MAX":
+        return max(nums)
+    raise SQLError(f"unknown aggregate {fn!r}")
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Aggregates with optional GROUP BY.
+
+    ``aggs`` are (fn, expr, alias); expressions are evaluated once over the
+    child table (a single LLM pass), then folded per group.
+    """
+
+    child: PlanNode
+    aggs: List[Tuple[str, Expr, str]]
+    group_by: List[str] = field(default_factory=list)
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        table = self.child.execute(ctx)
+        for fn, _, _ in self.aggs:
+            if fn not in _AGG_FNS:
+                raise SQLError(f"unsupported aggregate function {fn!r}")
+        evaluated = [(fn, expr.eval(table, ctx), alias) for fn, expr, alias in self.aggs]
+
+        if not self.group_by:
+            cols = {alias: [_aggregate(fn, vals)] for fn, vals, alias in evaluated}
+            return Table(cols, name=table.name)
+
+        group_cols = [Col(g).resolve(table) for g in self.group_by]
+        keys: Dict[Tuple[Any, ...], List[int]] = {}
+        for i in range(table.n_rows):
+            key = tuple(table.column(c)[i] for c in group_cols)
+            keys.setdefault(key, []).append(i)
+        out: Dict[str, List[Any]] = {c: [] for c in group_cols}
+        for _, _, alias in evaluated:
+            out[alias] = []
+        for key, idxs in keys.items():
+            for c, v in zip(group_cols, key):
+                out[c].append(v)
+            for fn, vals, alias in evaluated:
+                out[alias].append(_aggregate(fn, [vals[i] for i in idxs]))
+        return Table(out, name=table.name)
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    n: int
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return self.child.execute(ctx).head(self.n)

@@ -1,0 +1,19 @@
+"""SQL-subset front-end for LLM queries.
+
+Covers the paper's example syntax (§1, §3.1, Appendix A):
+
+* ``SELECT`` items with aliases, ``*``, aggregate calls, ``LLM(...)``;
+* ``FROM`` a named table, a parenthesized subquery with alias, ``JOIN ..
+  ON a = b`` chains;
+* ``WHERE`` with comparisons, AND/OR/NOT, ``LLM(...) = '...'``,
+  ``col <> NULL`` / ``IS [NOT] NULL``;
+* ``GROUP BY`` and ``LIMIT``;
+* quoted identifiers (``"beer/beerId"``) for the paper's slash-named
+  columns.
+"""
+
+from repro.relational.sql.lexer import tokenize
+from repro.relational.sql.parser import parse_sql
+from repro.relational.sql.planner import collect_scan_names, plan_sql
+
+__all__ = ["tokenize", "parse_sql", "plan_sql", "collect_scan_names"]

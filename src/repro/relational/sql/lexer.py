@@ -1,0 +1,82 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SQLError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "AS", "AND", "OR", "NOT",
+    "GROUP", "BY", "LIMIT", "NULL", "IS",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | STRING | NUMBER | SYMBOL | EOF
+    value: str
+    pos: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if sql[j] == "'" and j + 1 < n and sql[j + 1] == "'":
+                    buf.append("'")
+                    j += 2
+                    continue
+                if sql[j] == "'":
+                    break
+                buf.append(sql[j])
+                j += 1
+            else:
+                raise SQLError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SQLError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("IDENT", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and sql[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (sql[j].isdigit() or sql[j] == "."):
+                j += 1
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] in "_/"):
+                j += 1
+            word = sql[i:j]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            value = word.upper() if kind == "KEYWORD" else word
+            tokens.append(Token(kind, value, i))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SQLError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

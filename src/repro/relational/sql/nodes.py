@@ -1,0 +1,65 @@
+"""AST nodes produced by the SQL parser.
+
+Scalar expressions reuse :mod:`repro.relational.expressions` nodes directly;
+this module only adds the statement-level shapes plus ``AggCall`` (an
+aggregate reference the planner lifts into an Aggregate operator — it is
+not evaluable row-wise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.relational.expressions import Expr
+
+
+@dataclass(frozen=True)
+class AggCall(Expr):
+    """AVG/SUM/COUNT/MIN/MAX over a scalar expression."""
+
+    fn: str
+    arg: Expr
+
+    def eval(self, table, ctx=None):  # pragma: no cover - planner lifts these
+        raise NotImplementedError("aggregate calls are handled by the planner")
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """Bare ``*`` in a SELECT list or LLM argument list."""
+
+    def eval(self, table, ctx=None):  # pragma: no cover - planner expands
+        raise NotImplementedError("* is expanded by the planner")
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A named table or a parenthesized subquery, optionally aliased."""
+
+    name: Optional[str] = None
+    subquery: Optional["SelectStmt"] = None
+    alias: Optional[str] = None
+
+
+@dataclass
+class JoinClause:
+    ref: TableRef
+    left_col: str
+    right_col: str
+
+
+@dataclass
+class SelectStmt:
+    items: List[SelectItem]
+    source: TableRef
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[str] = field(default_factory=list)
+    limit: Optional[int] = None

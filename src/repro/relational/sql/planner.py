@@ -1,0 +1,130 @@
+"""Planner: AST -> physical operator tree.
+
+Planning is deliberately rule-based (no cost model): FROM/JOIN first, then
+WHERE, then either Aggregate (if any select item contains an AggCall) or
+Project, then LIMIT. ``*`` expands at execution time via a pass-through
+projection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.errors import SQLError
+from repro.relational.expressions import Col, Expr, LLMExpr
+from repro.relational.operators import (
+    Aggregate,
+    CatalogScan,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    TableSource,
+)
+from repro.relational.sql.nodes import AggCall, SelectItem, SelectStmt, Star
+from repro.relational.sql.parser import parse_sql
+
+
+class _Passthrough(PlanNode):
+    """`SELECT *`: forward the child table unchanged."""
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+
+    def execute(self, ctx):
+        return self.child.execute(ctx)
+
+
+def _default_alias(expr: Expr, index: int) -> str:
+    if isinstance(expr, Col):
+        return expr.name.split(".")[-1]
+    if isinstance(expr, LLMExpr):
+        return f"llm_{index}"
+    if isinstance(expr, AggCall):
+        return f"{expr.fn.lower()}_{index}"
+    return f"col_{index}"
+
+
+def _contains_agg(expr: Expr) -> bool:
+    if isinstance(expr, AggCall):
+        return True
+    for attr in ("left", "right", "child", "arg"):
+        sub = getattr(expr, attr, None)
+        if isinstance(sub, Expr) and _contains_agg(sub):
+            return True
+    return False
+
+
+def _plan_source(stmt: SelectStmt) -> PlanNode:
+    ref = stmt.source
+    if ref.subquery is not None:
+        node: PlanNode = plan_statement(ref.subquery)
+    else:
+        assert ref.name is not None
+        node = CatalogScan(ref.name)
+    for join in stmt.joins:
+        if join.ref.subquery is not None:
+            right: PlanNode = plan_statement(join.ref.subquery)
+        else:
+            assert join.ref.name is not None
+            right = CatalogScan(join.ref.name)
+        node = Join(left=node, right=right, left_col=join.left_col, right_col=join.right_col)
+    return node
+
+
+def plan_statement(stmt: SelectStmt) -> PlanNode:
+    node = _plan_source(stmt)
+    if stmt.where is not None:
+        node = Filter(child=node, predicate=stmt.where)
+
+    has_agg = any(_contains_agg(item.expr) for item in stmt.items)
+    if has_agg:
+        aggs: List[Tuple[str, Expr, str]] = []
+        for i, item in enumerate(stmt.items):
+            expr = item.expr
+            if isinstance(expr, AggCall):
+                alias = item.alias or _default_alias(expr, i)
+                aggs.append((expr.fn, expr.arg, alias))
+            elif isinstance(expr, Col) and expr.name in stmt.group_by:
+                continue  # group keys come through automatically
+            else:
+                raise SQLError(
+                    "select items in an aggregate query must be aggregates "
+                    "or GROUP BY columns"
+                )
+        node = Aggregate(child=node, aggs=aggs, group_by=list(stmt.group_by))
+    else:
+        if len(stmt.items) == 1 and isinstance(stmt.items[0].expr, Star):
+            node = _Passthrough(node)
+        else:
+            items: List[Tuple[Expr, str]] = []
+            for i, item in enumerate(stmt.items):
+                if isinstance(item.expr, Star):
+                    raise SQLError("* must be the only select item")
+                items.append((item.expr, item.alias or _default_alias(item.expr, i)))
+            node = Project(child=node, items=items)
+
+    if stmt.limit is not None:
+        node = Limit(child=node, n=stmt.limit)
+    return node
+
+
+def plan_sql(sql: str) -> PlanNode:
+    """Parse and plan one SELECT statement."""
+    return plan_statement(parse_sql(sql))
+
+
+def collect_scan_names(plan: PlanNode) -> Set[str]:
+    """Names of catalog tables a plan reads (used to gather their FDs)."""
+    names: Set[str] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, CatalogScan):
+            names.add(node.name)
+        for attr in ("child", "left", "right"):
+            sub = getattr(node, attr, None)
+            if isinstance(sub, PlanNode):
+                stack.append(sub)
+    return names

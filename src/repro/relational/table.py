@@ -1,0 +1,183 @@
+"""Column-oriented table: the engine's only data container.
+
+Columns are plain Python lists (values may be str/int/float/bool/None);
+the reordering solvers receive a stringified
+:class:`~repro.core.table.ReorderTable` view via :meth:`Table.to_reorder_table`,
+mirroring how the paper's operator serializes Spark rows to JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.table import ReorderTable
+from repro.errors import SchemaError
+
+
+def render_value(value: Any) -> str:
+    """Stringify a cell for prompt serialization (stable across calls)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class Table:
+    """An ordered mapping of column name -> list of values."""
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]], name: str = ""):
+        self._columns: Dict[str, List[Any]] = {}
+        n = None
+        for col, values in columns.items():
+            values = list(values)
+            if n is None:
+                n = len(values)
+            elif len(values) != n:
+                raise SchemaError(
+                    f"column {col!r} has {len(values)} rows, expected {n}"
+                )
+            self._columns[str(col)] = values
+        self._n_rows = n or 0
+        self.name = name
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; table has {self.fields!r}"
+            ) from None
+
+    def row(self, i: int) -> Dict[str, Any]:
+        return {c: v[i] for c, v in self._columns.items()}
+
+    def rows(self) -> Iterable[Dict[str, Any]]:
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    # --------------------------------------------------------- construction
+    @staticmethod
+    def from_rows(fields: Sequence[str], rows: Iterable[Sequence[Any]], name: str = "") -> "Table":
+        fields = list(fields)
+        cols: Dict[str, List[Any]] = {f: [] for f in fields}
+        for i, row in enumerate(rows):
+            row = list(row)
+            if len(row) != len(fields):
+                raise SchemaError(f"row {i} has {len(row)} cells, expected {len(fields)}")
+            for f, v in zip(fields, row):
+                cols[f].append(v)
+        return Table(cols, name=name)
+
+    @staticmethod
+    def from_records(records: Iterable[Mapping[str, Any]], name: str = "") -> "Table":
+        records = list(records)
+        if not records:
+            return Table({}, name=name)
+        fields = list(records[0])
+        return Table.from_rows(fields, [[r[f] for f in fields] for r in records], name=name)
+
+    # ------------------------------------------------------------ operators
+    def select(self, names: Sequence[str]) -> "Table":
+        return Table({n: self.column(n) for n in names}, name=self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        return Table(
+            {mapping.get(c, c): v for c, v in self._columns.items()}, name=self.name
+        )
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Table":
+        if len(values) != self._n_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(values)} rows, expected {self._n_rows}"
+            )
+        cols = dict(self._columns)
+        cols[name] = list(values)
+        return Table(cols, name=self.name)
+
+    def filter(self, mask: Sequence[bool]) -> "Table":
+        if len(mask) != self._n_rows:
+            raise SchemaError("mask length mismatch")
+        keep = [i for i, m in enumerate(mask) if m]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        return Table(
+            {c: [v[i] for i in indices] for c, v in self._columns.items()},
+            name=self.name,
+        )
+
+    def head(self, n: int) -> "Table":
+        return self.take(range(min(n, self._n_rows)))
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        cols = [self.column(n) for n in names]
+        order = sorted(
+            range(self._n_rows), key=lambda i: tuple(render_value(c[i]) for c in cols)
+        )
+        return self.take(order)
+
+    def join(
+        self,
+        other: "Table",
+        left_on: str,
+        right_on: str,
+        how: str = "inner",
+    ) -> "Table":
+        """Hash join. Overlapping non-key columns are rejected (qualify or
+        rename first); the join key is kept once, under the left name."""
+        if how != "inner":
+            raise SchemaError(f"only inner joins are supported, got {how!r}")
+        overlap = (set(self.fields) & set(other.fields)) - {left_on, right_on}
+        if overlap:
+            raise SchemaError(
+                f"join would duplicate columns {sorted(overlap)}; rename first"
+            )
+        index: Dict[Any, List[int]] = {}
+        for j, key in enumerate(other.column(right_on)):
+            index.setdefault(key, []).append(j)
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        for i, key in enumerate(self.column(left_on)):
+            for j in index.get(key, ()):
+                left_idx.append(i)
+                right_idx.append(j)
+        cols: Dict[str, List[Any]] = {
+            c: [v[i] for i in left_idx] for c, v in self._columns.items()
+        }
+        for c, v in other._columns.items():
+            if c == right_on:
+                continue
+            cols[c] = [v[j] for j in right_idx]
+        return Table(cols, name=self.name)
+
+    # ------------------------------------------------------------- bridging
+    def to_reorder_table(self, fields: Optional[Sequence[str]] = None) -> ReorderTable:
+        """Stringified view for the reordering solvers (prompt order of
+        ``fields`` is irrelevant — the solver decides)."""
+        names = list(fields) if fields is not None else list(self.fields)
+        cols = [self.column(n) for n in names]
+        rows = [
+            tuple(render_value(col[i]) for col in cols) for i in range(self._n_rows)
+        ]
+        return ReorderTable(names, rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name or 'anon'}: {self._n_rows}x{len(self._columns)} {self.fields})"

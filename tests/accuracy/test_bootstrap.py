@@ -1,0 +1,58 @@
+"""Tests for the bootstrap harness."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy.bootstrap import bootstrap_accuracy, compare_orderings
+from repro.errors import ReproError
+
+
+class TestBootstrapAccuracy:
+    def test_mean_close_to_p_hat(self):
+        correct = [True] * 70 + [False] * 30
+        dist = bootstrap_accuracy(correct, n_boot=5000, seed=0)
+        assert dist.mean() == pytest.approx(0.7, abs=0.01)
+
+    def test_all_correct_degenerate(self):
+        dist = bootstrap_accuracy([True] * 50, n_boot=100, seed=0)
+        assert (dist == 1.0).all()
+
+    def test_spread_shrinks_with_n(self):
+        small = bootstrap_accuracy([True, False] * 10, n_boot=5000, seed=0)
+        large = bootstrap_accuracy([True, False] * 500, n_boot=5000, seed=0)
+        assert large.std() < small.std()
+
+    def test_deterministic(self):
+        c = [True] * 30 + [False] * 20
+        a = bootstrap_accuracy(c, n_boot=100, seed=5)
+        b = bootstrap_accuracy(c, n_boot=100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_accuracy([], n_boot=10)
+        with pytest.raises(ReproError):
+            bootstrap_accuracy([True], n_boot=0)
+
+
+class TestCompareOrderings:
+    def test_detects_improvement(self):
+        a = [True] * 60 + [False] * 40
+        b = [True] * 75 + [False] * 25
+        cmp = compare_orderings(a, b, n_boot=5000, seed=0)
+        assert cmp.median_diff == pytest.approx(0.15, abs=0.03)
+
+    def test_no_difference(self):
+        c = [True] * 80 + [False] * 20
+        cmp = compare_orderings(c, c, n_boot=5000, seed=0)
+        assert abs(cmp.median_diff) < 0.02
+
+    def test_ci_contains_median(self):
+        c = [True] * 50 + [False] * 50
+        cmp = compare_orderings(c, c, n_boot=5000, seed=0)
+        lo, hi = cmp.ci_a
+        assert lo <= cmp.median_a <= hi
+
+    def test_ci_validation(self):
+        with pytest.raises(ReproError):
+            compare_orderings([True], [True], ci=1.5)

@@ -1,0 +1,111 @@
+"""Tests for the order-sensitive simulated judges."""
+
+import pytest
+
+from repro.accuracy.judge import JUDGES, JudgeSpec, SimulatedJudge
+from repro.core.table import Cell
+
+
+def make_cells(order):
+    return tuple(Cell(f, f"v-{f}") for f in order)
+
+
+def make_judge(bias=0.3, base=0.6, seed=0, n=400):
+    spec = JudgeSpec(
+        name="test-judge",
+        base_accuracy={"ds": base},
+        position_bias={"ds": bias},
+    )
+    labels = ["A" if i % 2 == 0 else "B" for i in range(n)]
+    return SimulatedJudge(spec, "ds", labels, ("A", "B"), key_field="key", seed=seed)
+
+
+class TestPositionFactor:
+    def test_first_position(self):
+        j = make_judge()
+        assert j.position_factor(make_cells(["key", "x", "y"])) == -0.5
+
+    def test_last_position(self):
+        j = make_judge()
+        assert j.position_factor(make_cells(["x", "y", "key"])) == 0.5
+
+    def test_middle(self):
+        j = make_judge()
+        assert j.position_factor(make_cells(["x", "key", "y"])) == 0.0
+
+    def test_missing_key_field(self):
+        j = make_judge()
+        assert j.position_factor(make_cells(["x", "y"])) == 0.0
+
+    def test_single_field(self):
+        j = make_judge()
+        assert j.position_factor(make_cells(["key"])) == 0.0
+
+
+class TestBehaviour:
+    def test_probability_clamped(self):
+        j = make_judge(bias=5.0, base=0.9)
+        assert j.correct_probability(make_cells(["x", "key"])) <= 0.99
+        j2 = make_judge(bias=5.0, base=0.1)
+        assert j2.correct_probability(make_cells(["key", "x"])) >= 0.01
+
+    def test_deterministic_answers(self):
+        j = make_judge()
+        cells = make_cells(["x", "key", "y"])
+        a = [j.answerer("q", cells, i) for i in range(50)]
+        b = [j.answerer("q", cells, i) for i in range(50)]
+        assert a == b
+
+    def test_answers_in_domain(self):
+        j = make_judge()
+        cells = make_cells(["key", "x"])
+        answers = {j.answerer("q", cells, i) for i in range(100)}
+        assert answers <= {"A", "B"}
+
+    def test_positive_bias_prefers_key_last(self):
+        j = make_judge(bias=0.4, base=0.6, n=2000)
+        early = [j.answerer("q", make_cells(["key", "x", "y"]), i) for i in range(2000)]
+        late = [j.answerer("q", make_cells(["x", "y", "key"]), i) for i in range(2000)]
+        acc_early = sum(j.grade(early)) / 2000
+        acc_late = sum(j.grade(late)) / 2000
+        assert acc_late - acc_early > 0.2  # ~0.4 bias spread
+
+    def test_zero_bias_order_insensitive(self):
+        j = make_judge(bias=0.0, base=0.7, n=2000)
+        early = [j.answerer("q", make_cells(["key", "x"]), i) for i in range(2000)]
+        late = [j.answerer("q", make_cells(["x", "key"]), i) for i in range(2000)]
+        acc_early = sum(j.grade(early)) / 2000
+        acc_late = sum(j.grade(late)) / 2000
+        assert abs(acc_late - acc_early) < 0.05
+
+    def test_open_ended_wrong_answer_not_exact(self):
+        spec = JudgeSpec("t", {"ds": 0.0}, {"ds": 0.0})
+        j = SimulatedJudge(spec, "ds", ["truth"] * 10, (), "key", seed=0)
+        answers = [j.answerer("q", make_cells(["key", "x"]), i) for i in range(10)]
+        assert all(a != "truth" for a in answers)
+
+
+class TestRegistry:
+    def test_three_judges(self):
+        assert set(JUDGES) == {"llama3-8b", "llama3-70b", "gpt-4o"}
+
+    def test_fever_8b_bias_strongest(self):
+        """Fig. 6: only Llama-3-8B on FEVER shows a large ordering effect."""
+        b8 = JUDGES["llama3-8b"].bias_for("fever")
+        b70 = JUDGES["llama3-70b"].bias_for("fever")
+        bgpt = JUDGES["gpt-4o"].bias_for("fever")
+        assert b8 > 3 * abs(b70)
+        assert b8 > 3 * abs(bgpt)
+
+    def test_bigger_models_more_accurate(self):
+        for ds in ("movies", "fever", "beer"):
+            assert (
+                JUDGES["gpt-4o"].accuracy_for(ds)
+                > JUDGES["llama3-70b"].accuracy_for(ds)
+                > JUDGES["llama3-8b"].accuracy_for(ds)
+            )
+
+    def test_default_fallbacks(self):
+        spec = JUDGES["llama3-8b"]
+        assert spec.accuracy_for("unknown-ds") == spec.default_accuracy
+        assert spec.bias_for("unknown-ds") == spec.default_bias

@@ -1,0 +1,27 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "table6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["warp-drive"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out and "wall time" in out
+
+    def test_run_with_scale_and_out(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        assert main(["table1", "--scale", "0.004", "--out", str(path)]) == 0
+        assert "Table 1" in path.read_text()
+        capsys.readouterr()

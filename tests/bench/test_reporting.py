@@ -1,0 +1,77 @@
+"""Tests for reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import (
+    ExperimentOutput,
+    ResultTable,
+    default_scale,
+    default_seed,
+    fmt_pct,
+    fmt_seconds,
+    fmt_speedup,
+)
+
+
+class TestFormatters:
+    def test_speedup(self):
+        assert fmt_speedup(10.0, 4.0) == "2.5x"
+        assert fmt_speedup(1.0, 0.0) == "inf"
+
+    def test_pct(self):
+        assert fmt_pct(0.123) == "12.3%"
+        assert fmt_pct(0.5, digits=0) == "50%"
+
+    def test_seconds(self):
+        assert fmt_seconds(250.0) == "250s"
+        assert fmt_seconds(2.5) == "2.5s"
+        assert fmt_seconds(0.05) == "50ms"
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        t = ResultTable("Title", ["A", "Blong"])
+        t.add_row("x", 1)
+        t.add_row("yyyy", 22)
+        text = t.render()
+        assert "Title" in text
+        lines = text.splitlines()
+        assert lines[2].startswith("A")
+        assert "yyyy" in text
+
+    def test_wrong_arity(self):
+        t = ResultTable("T", ["A"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+
+class TestExperimentOutput:
+    def test_render_includes_tables_and_notes(self):
+        out = ExperimentOutput(name="X")
+        t = ResultTable("T", ["A"])
+        t.add_row("v")
+        out.tables.append(t)
+        out.notes.append("hello")
+        text = out.render()
+        assert "== X ==" in text and "hello" in text and "v" in text
+
+
+class TestEnvDefaults:
+    def test_default_scale_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale(0.07) == 0.07
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+
+    def test_default_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            default_scale()
+
+    def test_default_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "9")
+        assert default_seed() == 9
+        monkeypatch.delenv("REPRO_SEED")
+        assert default_seed(3) == 3

@@ -1,0 +1,119 @@
+"""Tests for the benchmark runner and workload answerer."""
+
+import pytest
+
+from repro.bench.policies import CACHE_GGR, CACHE_ORIGINAL, NO_CACHE
+from repro.bench.queries import get_query
+from repro.bench.runner import (
+    RunResult,
+    WorkloadAnswerer,
+    run_policies,
+    run_query,
+    scaled_kv_capacity,
+)
+from repro.core.table import Cell
+from repro.data import build_dataset
+from repro.errors import ReproError
+from repro.llm.hardware import CLUSTER_1XL4
+from repro.llm.models import LLAMA3_8B
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def movies():
+    return build_dataset("movies", scale=SCALE, seed=0)
+
+
+class TestWorkloadAnswerer:
+    def test_deterministic_and_policy_independent(self, movies):
+        q = get_query("movies-T2")
+        a = WorkloadAnswerer(movies, q, seed=0)
+        b = WorkloadAnswerer(movies, q, seed=0)
+        cells1 = (Cell("x", "1"),)
+        cells2 = (Cell("y", "2"), Cell("x", "1"))
+        assert a("p", cells1, 3) == b("p", cells2, 3)  # depends on row, not cells
+
+    def test_filter_answers_are_labels(self, movies):
+        q = get_query("movies-T1")
+        ans = WorkloadAnswerer(movies, q, seed=0)
+        assert ans(q.prompt, (), 0) == movies.labels[0]
+
+    def test_aggregation_answers_numeric(self, movies):
+        q = get_query("movies-T4")
+        ans = WorkloadAnswerer(movies, q, seed=0)
+        vals = {int(ans(q.prompt, (), i)) for i in range(30)}
+        assert vals <= {1, 2, 3, 4, 5}
+
+    def test_stage1_answers_sentiment(self, movies):
+        q = get_query("movies-T3")
+        ans = WorkloadAnswerer(movies, q, seed=0)
+        assert ans(q.stage1_prompt, (), 0) in ("POSITIVE", "NEGATIVE")
+
+    def test_projection_length_tracks_profile(self, movies):
+        from repro.llm.tokenizer import HashTokenizer
+
+        q = get_query("movies-T2")
+        ans = WorkloadAnswerer(movies, q, seed=0)
+        tok = HashTokenizer()
+        lens = [tok.count(ans(q.prompt, (), i)) for i in range(20)]
+        target = movies.output_tokens["T2"]
+        assert target * 0.5 <= sum(lens) / len(lens) <= target * 1.6
+
+
+class TestRunQuery:
+    def test_result_fields(self, movies):
+        q = get_query("movies-T1")
+        res = run_query(q, movies, CACHE_GGR, seed=0)
+        assert isinstance(res, RunResult)
+        assert res.n_rows == movies.n_rows
+        assert res.prompt_tokens > 0
+        assert res.cached_tokens + res.prefill_tokens == res.prompt_tokens
+        assert res.engine_seconds > 0
+        assert res.end_to_end_seconds >= res.engine_seconds
+
+    def test_dataset_mismatch_rejected(self, movies):
+        q = get_query("beer-T1")
+        with pytest.raises(ReproError):
+            run_query(q, movies, CACHE_GGR)
+
+    def test_no_cache_zero_phr(self, movies):
+        res = run_query(get_query("movies-T1"), movies, NO_CACHE)
+        assert res.phr == 0.0
+
+    def test_t3_runs_two_calls(self, movies):
+        res = run_query(get_query("movies-T3"), movies, CACHE_GGR)
+        assert res.n_llm_calls == 2
+
+    def test_policy_ordering_holds(self, movies):
+        res = run_policies(get_query("movies-T1"), movies)
+        assert (
+            res["Cache (GGR)"].engine_seconds
+            <= res["Cache (Original)"].engine_seconds
+            <= res["No Cache"].engine_seconds * 1.01
+        )
+        assert res["Cache (GGR)"].phr >= res["Cache (Original)"].phr
+
+    def test_determinism(self, movies):
+        q = get_query("movies-T1")
+        a = run_query(q, movies, CACHE_GGR, seed=1)
+        b = run_query(q, movies, CACHE_GGR, seed=1)
+        assert a.engine_seconds == b.engine_seconds
+        assert a.phr == b.phr
+
+
+class TestScaledCapacity:
+    def test_full_scale_is_cost_model_capacity(self):
+        from repro.llm.costmodel import CostModel
+
+        cap = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 1.0, 300)
+        assert cap == CostModel(LLAMA3_8B, CLUSTER_1XL4).kv_capacity_tokens
+
+    def test_scaling_shrinks(self):
+        big = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.5, 300)
+        small = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.1, 300)
+        assert small < big
+
+    def test_batch_floor(self):
+        cap = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.0001, 1000, max_batch_size=64)
+        assert cap >= int(64 * 1000 * 0.75)

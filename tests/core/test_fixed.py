@@ -1,0 +1,91 @@
+"""Tests for fixed-field-order baselines."""
+
+import pytest
+
+from repro.core.fixed import (
+    best_fixed_field_schedule,
+    fixed_field_schedule,
+    original_schedule,
+    stats_field_order,
+)
+from repro.core.ordering import RequestSchedule
+from repro.core.phc import phc
+from repro.core.table import ReorderTable
+from repro.errors import SolverError
+
+
+def make_table():
+    return ReorderTable(
+        ("uniq", "dup"),
+        [("u3", "shared"), ("u1", "shared"), ("u2", "other")],
+    )
+
+
+class TestOriginal:
+    def test_identity(self):
+        t = make_table()
+        sched = original_schedule(t)
+        assert sched.row_ids() == [0, 1, 2]
+        assert sched.rows[0].fields() == ("uniq", "dup")
+
+
+class TestFixedFieldSchedule:
+    def test_explicit_order_applied_to_all_rows(self):
+        t = make_table()
+        sched = fixed_field_schedule(t, ["dup", "uniq"], sort_rows=False)
+        for row in sched.rows:
+            assert row.fields() == ("dup", "uniq")
+
+    def test_sort_rows_groups_duplicates(self):
+        t = make_table()
+        sched = fixed_field_schedule(t, ["dup", "uniq"], sort_rows=True)
+        dups = [row.cells[0].value for row in sched.rows]
+        assert dups == sorted(dups)
+        assert phc(sched) > 0
+
+    def test_default_order_is_stats_driven(self):
+        t = make_table()
+        assert stats_field_order(t)[0] == "dup"
+        sched = fixed_field_schedule(t)
+        assert sched.rows[0].fields()[0] == "dup"
+
+    def test_bad_order_rejected(self):
+        t = make_table()
+        with pytest.raises(SolverError):
+            fixed_field_schedule(t, ["dup"])
+        with pytest.raises(SolverError):
+            fixed_field_schedule(t, ["dup", "nope"])
+
+
+class TestBestFixed:
+    def test_exhaustive_beats_identity(self):
+        t = ReorderTable(
+            ("uniq", "c1", "c2"),
+            [(f"u{i}", "ss", "tt") for i in range(4)],
+        )
+        score, sched = best_fixed_field_schedule(t)
+        assert score == 3 * (4 + 4)
+        assert score > phc(RequestSchedule.identity(t))
+
+    def test_hill_climb_path(self):
+        # > max_exhaustive_fields forces the greedy path.
+        fields = tuple(f"f{i}" for i in range(7))
+        rows = [tuple(["dup"] * 6 + [f"u{i}"]) for i in range(5)]
+        t = ReorderTable(fields, rows)
+        score, sched = best_fixed_field_schedule(t, max_exhaustive_fields=3)
+        assert score == 4 * 6 * len("dup") ** 2
+        sched.validate_against(t)
+
+    def test_empty_table(self):
+        t = ReorderTable(("a",), [])
+        score, sched = best_fixed_field_schedule(t)
+        assert score == 0 and len(sched) == 0
+
+    def test_fixed_cannot_beat_per_row_on_fig1b(self):
+        from tests.core.test_ggr import fig1b_table
+        from repro.core.ggr import ggr
+
+        t = fig1b_table(4, 3)
+        fixed_score, _ = best_fixed_field_schedule(t)
+        _, ggr_sched, _ = ggr(t)
+        assert phc(ggr_sched) > fixed_score

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the core invariants in DESIGN.md §6.
+
+Strategies generate small tables with a controlled value alphabet so that
+duplicates (the interesting case for prefix sharing) actually occur.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import mine_fds
+from repro.core.ggr import GGRConfig, ggr
+from repro.core.ophr import brute_force_optimal, ophr
+from repro.core.ordering import RequestSchedule
+from repro.core.phc import per_row_hits, phc, phr
+from repro.core.table import ReorderTable
+
+# Values drawn from a tiny alphabet of short strings => heavy duplication.
+values = st.sampled_from(["a", "bb", "ccc", "d", "ee"])
+
+
+@st.composite
+def tables(draw, max_rows=6, max_cols=4):
+    n = draw(st.integers(min_value=1, max_value=max_rows))
+    m = draw(st.integers(min_value=1, max_value=max_cols))
+    fields = [f"f{i}" for i in range(m)]
+    rows = [tuple(draw(values) for _ in range(m)) for _ in range(n)]
+    return ReorderTable(fields, rows)
+
+
+@st.composite
+def tiny_tables(draw):
+    """Small enough for brute force: n<=3, m<=3."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=1, max_value=3))
+    fields = [f"f{i}" for i in range(m)]
+    rows = [tuple(draw(values) for _ in range(m)) for _ in range(n)]
+    return ReorderTable(fields, rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_ggr_schedule_is_permutation(table):
+    _, sched, _ = ggr(table)
+    sched.validate_against(table)  # raises on violation
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_ggr_at_least_identity_phc(table):
+    """GGR may not be optimal, but it should never lose to doing nothing on
+    these duplicate-heavy tables by more than zero (both >= 0; GGR groups)."""
+    _, sched, _ = ggr(table, config=GGRConfig(max_row_depth=10, max_col_depth=10))
+    assert phc(sched) >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables(max_rows=5, max_cols=3))
+def test_ophr_dominates_ggr_and_identity(table):
+    opt, osched = ophr(table)
+    _, gsched, _ = ggr(table, config=GGRConfig(max_row_depth=10, max_col_depth=10))
+    assert opt >= phc(gsched)
+    assert opt >= phc(RequestSchedule.identity(table))
+    assert phc(osched) == opt
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_tables())
+def test_ophr_matches_brute_force(table):
+    opt, _ = ophr(table)
+    bf, _ = brute_force_optimal(table)
+    assert opt == bf
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_phc_equals_sum_of_per_row_hits(table):
+    sched = RequestSchedule.identity(table)
+    assert phc(sched) == sum(per_row_hits(sched))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_phr_bounded(table):
+    _, sched, _ = ggr(table)
+    assert 0.0 <= phr(sched) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(tables())
+def test_value_mode_phc_at_least_cell_mode(table):
+    """Relaxing the match predicate can only add hits."""
+    sched = RequestSchedule.identity(table)
+    assert phc(sched, mode="value") >= phc(sched, mode="cell")
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables(max_rows=6, max_cols=3))
+def test_mined_fds_never_break_ggr(table):
+    fds = mine_fds(table, sample_rows=0)
+    _, sched, _ = ggr(table, fds=fds)
+    sched.validate_against(table)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables())
+def test_row_duplication_monotonicity(table):
+    """Appending an exact copy of the last row cannot decrease optimal-side
+    PHC under GGR's schedule recomputation."""
+    _, sched_before, _ = ggr(table)
+    bigger = ReorderTable(table.fields, list(table.rows) + [table.rows[-1]])
+    _, sched_after, _ = ggr(bigger)
+    assert phc(sched_after) >= phc(sched_before)

@@ -1,0 +1,96 @@
+"""Tests for the local-search schedule refiner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ggr import ggr
+from repro.core.ordering import RequestSchedule
+from repro.core.phc import phc
+from repro.core.refine import refine
+from repro.core.reorder import reorder
+from repro.core.table import Cell, OrderedRow, ReorderTable
+
+
+class TestRealignment:
+    def test_fixes_misaligned_field_order(self):
+        # Two identical rows scheduled with different field orders: the
+        # identity schedule scores 0, the refiner realigns row 2.
+        t = ReorderTable(("a", "b"), [("x", "y"), ("x", "y")])
+        bad = RequestSchedule(
+            rows=[
+                OrderedRow(0, (Cell("a", "x"), Cell("b", "y"))),
+                OrderedRow(1, (Cell("b", "y"), Cell("a", "x"))),
+            ],
+            source_fields=t.fields,
+        )
+        assert phc(bad) == 0
+        res = refine(bad, table=t)
+        assert res.phc_after == 2
+        assert res.field_realignments == 1
+
+    def test_never_decreases(self):
+        t = ReorderTable(("a", "b"), [("x", "y"), ("z", "y"), ("x", "y")])
+        sched = RequestSchedule.identity(t)
+        res = refine(sched, table=t)
+        assert res.phc_after >= res.phc_before
+
+    def test_row_relocation(self):
+        # Identity order interleaves two groups; relocation reunites them.
+        t = ReorderTable(
+            ("g", "u"),
+            [("A", "1"), ("B", "2"), ("A", "3"), ("B", "4"), ("A", "5")],
+        )
+        res = refine(RequestSchedule.identity(t), table=t)
+        assert res.phc_after > res.phc_before
+        assert res.row_moves >= 1
+
+    def test_noop_on_optimal_schedule(self):
+        t = ReorderTable(("a",), [("x",), ("x",), ("y",)])
+        _, sched, _ = ggr(t)
+        res = refine(sched, table=t)
+        assert res.improvement == 0
+
+    def test_time_limit_respected(self):
+        t = ReorderTable(
+            ("a", "b"),
+            [(f"v{i % 4}", f"w{i % 3}") for i in range(60)],
+        )
+        res = refine(RequestSchedule.identity(t), table=t, time_limit_s=0.001)
+        assert res.seconds < 1.0
+        res.schedule.validate_against(t)
+
+    def test_disable_row_moves(self):
+        t = ReorderTable(("g",), [("A",), ("B",), ("A",)])
+        res = refine(RequestSchedule.identity(t), table=t, enable_row_moves=False)
+        assert res.row_moves == 0
+
+
+values = st.sampled_from(["a", "bb", "ccc", "d"])
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=3))
+    return ReorderTable(
+        [f"f{i}" for i in range(m)],
+        [tuple(draw(values) for _ in range(m)) for _ in range(n)],
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(tables())
+def test_property_refine_monotone_and_valid(table):
+    sched = RequestSchedule.identity(table)
+    res = refine(sched, table=table)
+    res.schedule.validate_against(table)
+    assert res.phc_after >= phc(RequestSchedule.identity(table))
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables())
+def test_property_refining_ggr_never_hurts(table):
+    ggr_res = reorder(table, "ggr")
+    refined = refine(ggr_res.schedule, table=table)
+    assert refined.phc_after >= ggr_res.exact_phc

@@ -1,0 +1,54 @@
+"""Tests for the reorder() facade."""
+
+import pytest
+
+from repro import ReorderTable, reorder
+from repro.core.phc import phc
+from repro.core.reorder import POLICIES
+from repro.errors import SolverError
+
+
+def make_table():
+    return ReorderTable(
+        ("id", "grp", "txt"),
+        [
+            ("i1", "G", "hello"),
+            ("i2", "G", "hello"),
+            ("i3", "H", "world"),
+            ("i4", "G", "hello"),
+        ],
+    )
+
+
+class TestFacade:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_policy_emits_valid_schedule(self, policy):
+        t = make_table()
+        res = reorder(t, policy=policy)
+        res.schedule.validate_against(t)
+        assert res.exact_phc == phc(res.schedule)
+        assert res.solver_seconds >= 0.0
+        assert 0.0 <= res.exact_phr <= 1.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(SolverError):
+            reorder(make_table(), policy="magic")
+
+    def test_ggr_beats_original_here(self):
+        t = make_table()
+        assert reorder(t, "ggr").exact_phc > reorder(t, "original").exact_phc
+
+    def test_ophr_at_least_ggr(self):
+        t = make_table()
+        assert reorder(t, "ophr").exact_phc >= reorder(t, "ggr").exact_phc
+
+    def test_ggr_report_present_only_for_ggr(self):
+        t = make_table()
+        assert reorder(t, "ggr").ggr_report is not None
+        assert reorder(t, "original").ggr_report is None
+
+    def test_estimated_matches_exact_for_exact_policies(self):
+        t = make_table()
+        for policy in ("original", "sorted", "fixed_stats", "ophr"):
+            res = reorder(t, policy)
+            assert res.estimated_phc == pytest.approx(res.exact_phc)

@@ -1,0 +1,60 @@
+"""Tests for per-column table statistics."""
+
+import pytest
+
+from repro.core.stats import ColumnStats, TableStats
+from repro.core.table import ReorderTable
+
+
+def make_table():
+    return ReorderTable(
+        ("short_dup", "long_uniq"),
+        [("aa", "unique-value-0"), ("aa", "unique-value-1"), ("bb", "unique-value-2")],
+    )
+
+
+class TestTableStats:
+    def test_compute_basic(self):
+        stats = TableStats.compute(make_table())
+        col = stats.column("short_dup")
+        assert col.n_rows == 3
+        assert col.n_distinct == 2
+        assert col.avg_len == 2.0
+        assert col.top_value == "aa" and col.top_count == 2
+
+    def test_duplication(self):
+        stats = TableStats.compute(make_table())
+        assert stats.column("short_dup").duplication == pytest.approx(1 / 3)
+        assert stats.column("long_uniq").duplication == 0.0
+
+    def test_expected_score_prefers_duplicated_column(self):
+        stats = TableStats.compute(make_table())
+        order = stats.field_order_by_score("expected")
+        assert order[0] == "short_dup"
+
+    def test_paper_score_prefers_long_column(self):
+        # The printed formula ignores frequency, so the long unique column
+        # wins — exactly why we default to the weighted variant.
+        stats = TableStats.compute(make_table())
+        order = stats.field_order_by_score("paper")
+        assert order[0] == "long_uniq"
+
+    def test_invalid_mode(self):
+        stats = TableStats.compute(make_table())
+        with pytest.raises(ValueError):
+            stats.column("short_dup").score("bogus")
+
+    def test_unknown_column(self):
+        stats = TableStats.compute(make_table())
+        with pytest.raises(KeyError):
+            stats.column("nope")
+
+    def test_empty_table(self):
+        stats = TableStats.compute(ReorderTable(("a",), []))
+        assert stats.column("a").avg_len == 0.0
+        assert stats.column("a").duplication == 0.0
+
+    def test_tie_break_is_by_name(self):
+        t = ReorderTable(("b", "a"), [("xx", "xx"), ("xx", "xx")])
+        stats = TableStats.compute(t)
+        assert stats.field_order_by_score() == ["a", "b"]

@@ -1,0 +1,122 @@
+"""Tests for the paged KV block manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ServingError
+from repro.llm.blocks import BlockManager
+
+
+class TestAllocation:
+    def test_basic_alloc_free(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        assert bm.n_blocks == 10
+        a = bm.allocate(40)
+        assert len(a.block_ids) == 3
+        assert bm.used_blocks == 3
+        bm.release(a)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_rounding_up(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        assert bm.blocks_needed(1) == 1
+        assert bm.blocks_needed(16) == 1
+        assert bm.blocks_needed(17) == 2
+
+    def test_capacity_error(self):
+        bm = BlockManager(capacity_tokens=32, block_tokens=16)
+        with pytest.raises(CapacityError):
+            bm.allocate(100)
+
+    def test_can_allocate(self):
+        bm = BlockManager(capacity_tokens=32, block_tokens=16)
+        assert bm.can_allocate(32)
+        assert not bm.can_allocate(33)
+
+    def test_invalid_params(self):
+        with pytest.raises(ServingError):
+            BlockManager(capacity_tokens=0)
+        with pytest.raises(ServingError):
+            BlockManager(capacity_tokens=16, block_tokens=0)
+
+
+class TestForkRelease:
+    def test_fork_shares_blocks(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(32)
+        b = bm.fork(a)
+        assert b.block_ids == a.block_ids
+        assert bm.used_blocks == 2  # shared, not doubled
+        bm.release(a)
+        assert bm.used_blocks == 2  # still referenced by b
+        bm.release(b)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_double_free_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(16)
+        b = bm.fork(a)
+        bm.release(a)
+        bm.release(b)
+        with pytest.raises(ServingError):
+            bm.release(b)
+
+    def test_fork_of_freed_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(16)
+        keep = bm.fork(a)
+        bm.release(a)
+        bm.release(keep)
+        with pytest.raises(ServingError):
+            bm.fork(keep)
+
+
+class TestGrow:
+    def test_grow_within_block(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(10)
+        bm.grow(a, 5)
+        assert len(a.block_ids) == 1 and a.n_tokens == 15
+
+    def test_grow_across_blocks(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(10)
+        bm.grow(a, 10)
+        assert len(a.block_ids) == 2 and a.n_tokens == 20
+
+    def test_grow_capacity_error(self):
+        bm = BlockManager(capacity_tokens=32, block_tokens=16)
+        a = bm.allocate(32)
+        with pytest.raises(CapacityError):
+            bm.grow(a, 1)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=10))
+    def test_alloc_release_conserves_blocks(self, sizes):
+        bm = BlockManager(capacity_tokens=1600, block_tokens=16)
+        allocs = [bm.allocate(s) for s in sizes]
+        assert bm.used_blocks == sum(bm.blocks_needed(s) for s in sizes)
+        for a in allocs:
+            bm.release(a)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=7))
+    def test_fork_refcount_consistency(self, sizes, fork_idx):
+        bm = BlockManager(capacity_tokens=3200, block_tokens=16)
+        allocs = [bm.allocate(s) for s in sizes]
+        idx = fork_idx % len(allocs)
+        clone = bm.fork(allocs[idx])
+        for a in allocs:
+            bm.release(a)
+        assert bm.used_blocks == len(clone.block_ids)
+        bm.release(clone)
+        assert bm.used_blocks == 0
+        bm.check_invariants()

@@ -1,0 +1,103 @@
+"""Tests for the roofline cost model, including calibration against the
+paper's cited performance envelope."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.llm.costmodel import CostModel
+from repro.llm.hardware import CLUSTER_1XL4, CLUSTER_8XL4, Cluster, GPUSpec, L4
+from repro.llm.models import LLAMA3_1B, LLAMA3_8B, LLAMA3_70B
+
+
+@pytest.fixture
+def cm8b():
+    return CostModel(LLAMA3_8B, CLUSTER_1XL4)
+
+
+class TestCalibration:
+    def test_paper_prefill_envelope(self, cm8b):
+        """Intro: 'an NVIDIA L4 running Llama3-8B can only process 6KB of
+        text per second' — about 1.5-2k tokens/s."""
+        rate = cm8b.prefill_tokens_per_second(512)
+        assert 1200 <= rate <= 3000
+
+    def test_kv_bytes_per_token_gqa(self):
+        # 2 * 32 layers * 8 kv heads * 128 dim * 2 bytes = 128 KiB.
+        assert LLAMA3_8B.kv_bytes_per_token == 131072
+
+    def test_kv_capacity_positive_and_sane(self, cm8b):
+        cap = cm8b.kv_capacity_tokens
+        assert 50_000 <= cap <= 200_000
+
+    def test_70b_needs_the_big_rig(self):
+        with pytest.raises(ServingError):
+            CostModel(LLAMA3_70B, CLUSTER_1XL4)
+        cm = CostModel(LLAMA3_70B, CLUSTER_8XL4)
+        assert cm.kv_capacity_tokens > 0
+
+    def test_1b_has_plenty_of_memory(self):
+        cm1 = CostModel(LLAMA3_1B, CLUSTER_1XL4)
+        cm8 = CostModel(LLAMA3_8B, CLUSTER_1XL4)
+        assert cm1.kv_capacity_tokens > 3 * cm8.kv_capacity_tokens
+
+
+class TestPrefill:
+    def test_zero_tokens_free(self, cm8b):
+        assert cm8b.prefill_time(0) == 0.0
+
+    def test_monotone_in_tokens(self, cm8b):
+        assert cm8b.prefill_time(200) < cm8b.prefill_time(400)
+
+    def test_cached_context_still_costs_attention(self, cm8b):
+        """Prefilling after a long cached prefix attends to it: positive
+        position-dependent cost."""
+        assert cm8b.prefill_time(100, context_start=2000) > cm8b.prefill_time(100, 0)
+
+    def test_cache_hit_saves_time(self, cm8b):
+        full = cm8b.prefill_time(1000, 0)
+        suffix_only = cm8b.prefill_time(200, 800)
+        assert suffix_only < full
+
+    def test_quadratic_term_grows(self, cm8b):
+        f1 = cm8b.prefill_flops(100, 0)
+        f2 = cm8b.prefill_flops(100, 10_000)
+        assert f2 > f1
+
+
+class TestDecode:
+    def test_empty_batch(self, cm8b):
+        assert cm8b.decode_step_time([]) == 0.0
+
+    def test_batching_amortizes_weights(self, cm8b):
+        single = cm8b.decode_tokens_per_second(1)
+        batched = cm8b.decode_tokens_per_second(32)
+        assert batched > 5 * single
+
+    def test_longer_context_slower(self, cm8b):
+        assert cm8b.decode_step_time([4000] * 8) > cm8b.decode_step_time([100] * 8)
+
+    def test_bigger_model_slower(self):
+        cm1 = CostModel(LLAMA3_1B, CLUSTER_1XL4)
+        cm8 = CostModel(LLAMA3_8B, CLUSTER_1XL4)
+        assert cm8.decode_step_time([500] * 8) > cm1.decode_step_time([500] * 8)
+
+
+class TestValidation:
+    def test_bad_utilization(self):
+        with pytest.raises(ServingError):
+            CostModel(LLAMA3_8B, CLUSTER_1XL4, mfu=0.0)
+        with pytest.raises(ServingError):
+            CostModel(LLAMA3_8B, CLUSTER_1XL4, bw_util=1.5)
+
+    def test_bad_hardware(self):
+        with pytest.raises(ServingError):
+            GPUSpec(name="broken", mem_bytes=0, mem_bandwidth=1, flops=1)
+        with pytest.raises(ServingError):
+            Cluster(gpu=L4, n_gpus=0)
+        with pytest.raises(ServingError):
+            Cluster(gpu=L4, n_gpus=2, tp_efficiency=0.0)
+
+    def test_cluster_aggregation(self):
+        assert CLUSTER_8XL4.total_mem_bytes == 8 * L4.mem_bytes
+        assert CLUSTER_8XL4.effective_flops < 8 * L4.flops  # TP tax
+        assert CLUSTER_8XL4.effective_flops > L4.flops

@@ -1,0 +1,159 @@
+"""Tests for the radix prefix cache, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.radix import RadixPrefixCache
+
+
+class TestMatchInsert:
+    def test_empty_cache_no_match(self):
+        c = RadixPrefixCache()
+        assert c.match([1, 2, 3]) == 0
+
+    def test_exact_match_after_insert(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3])
+        assert c.match([1, 2, 3]) == 3
+
+    def test_prefix_match(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3, 4])
+        assert c.match([1, 2, 9, 9]) == 2
+
+    def test_longer_probe_matches_cached_part(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2])
+        assert c.match([1, 2, 3, 4]) == 2
+
+    def test_insert_returns_new_token_count(self):
+        c = RadixPrefixCache()
+        assert c.insert([1, 2, 3]) == 3
+        assert c.insert([1, 2, 3]) == 0
+        assert c.insert([1, 2, 4]) == 1
+        assert c.total_tokens == 4
+
+    def test_split_preserves_subtree(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3, 4, 5])
+        c.insert([1, 2, 9])
+        assert c.match([1, 2, 3, 4, 5]) == 5
+        assert c.match([1, 2, 9]) == 3
+        c.check_invariants()
+
+    def test_empty_sequence(self):
+        c = RadixPrefixCache()
+        assert c.insert([]) == 0
+        assert c.match([]) == 0
+
+    def test_hit_miss_counters(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2])
+        c.match([1, 2])
+        c.match([7, 8])
+        assert c.hits == 1 and c.misses == 1
+
+
+class TestEviction:
+    def test_evict_frees_tokens(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3])
+        c.insert([9, 8, 7])
+        freed = c.evict(3)
+        assert freed >= 3
+        assert c.total_tokens <= 3
+        c.check_invariants()
+
+    def test_evict_lru_order(self):
+        c = RadixPrefixCache()
+        c.insert([1, 1, 1])
+        c.insert([2, 2, 2])
+        c.match([1, 1, 1])  # refresh first path
+        c.evict(3)
+        assert c.match([1, 1, 1]) == 3
+        assert c.match([2, 2, 2]) == 0
+
+    def test_protected_paths_survive(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3])
+        c.insert([9, 8, 7])
+        c.insert([5, 5])
+        freed = c.evict(100, protected=[[1, 2, 3]])
+        assert c.match([1, 2, 3]) == 3
+        assert freed == 5  # everything else went
+
+    def test_evict_more_than_available(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2])
+        assert c.evict(100) == 2
+        assert c.total_tokens == 0
+
+    def test_interior_shared_prefix_outlives_leaf(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3, 4])
+        c.insert([1, 2, 7, 8])
+        # Evicting one leaf must keep the shared [1,2] interior intact.
+        c.evict(2)
+        assert c.match([1, 2]) == 2
+        c.check_invariants()
+
+
+class TestPathNodes:
+    def test_path_ids_tolerant(self):
+        c = RadixPrefixCache()
+        c.insert([1, 2, 3])
+        ids_full = c.path_node_ids([1, 2, 3])
+        ids_divergent = c.path_node_ids([1, 2, 99])
+        assert ids_divergent <= ids_full
+        assert c.path_node_ids([42]) == set()
+
+
+@st.composite
+def token_seqs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [draw(st.integers(min_value=0, max_value=5)) for _ in range(n)]
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(token_seqs(), min_size=1, max_size=12))
+    def test_insert_then_match_full(self, seqs):
+        c = RadixPrefixCache()
+        for s in seqs:
+            c.insert(s)
+            assert c.match(s) == len(s)
+        c.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(token_seqs(), min_size=1, max_size=12))
+    def test_total_tokens_equals_unique_prefix_mass(self, seqs):
+        """total_tokens == number of distinct prefixes (trie nodes at token
+        granularity), independent of insertion order."""
+        c = RadixPrefixCache()
+        for s in seqs:
+            c.insert(s)
+        prefixes = {tuple(s[:k]) for s in seqs for k in range(1, len(s) + 1)}
+        assert c.total_tokens == len(prefixes)
+        c.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(token_seqs(), min_size=2, max_size=10),
+           st.integers(min_value=1, max_value=20))
+    def test_eviction_preserves_invariants(self, seqs, n_evict):
+        c = RadixPrefixCache()
+        for s in seqs:
+            c.insert(s)
+        before = c.total_tokens
+        freed = c.evict(n_evict)
+        assert c.total_tokens == before - freed
+        c.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(token_seqs(), min_size=1, max_size=10))
+    def test_match_never_exceeds_probe(self, seqs):
+        c = RadixPrefixCache()
+        for s in seqs:
+            c.insert(s)
+        for s in seqs:
+            assert 0 <= c.match(s[:3]) <= 3

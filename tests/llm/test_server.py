@@ -1,0 +1,64 @@
+"""Tests for the batch inference server facade."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.llm.server import BatchInferenceServer
+
+
+def prompts(tag, n=5):
+    return [f"shared preamble for every request {tag} row {i}" for i in range(n)]
+
+
+class TestJobs:
+    def test_submit_and_stats(self):
+        server = BatchInferenceServer()
+        res = server.submit_job("job-1", ["hello world"] * 4, output_lens=[2] * 4)
+        assert len(res.outputs) == 4
+        j = server.job("job-1")
+        assert j.n_requests == 4
+        assert j.prompt_tokens > 0
+        assert j.seconds > 0
+
+    def test_cache_persists_across_jobs(self):
+        server = BatchInferenceServer()
+        server.submit_job("warm", prompts("x"), output_lens=[1] * 5)
+        server.submit_job("reuse", prompts("x"), output_lens=[1] * 5)
+        assert server.job("reuse").hit_rate > server.job("warm").hit_rate
+
+    def test_fresh_cache_isolates(self):
+        server = BatchInferenceServer()
+        server.submit_job("warm", prompts("x"), output_lens=[1] * 5)
+        server.submit_job("cold", prompts("x"), output_lens=[1] * 5, fresh_cache=True)
+        assert server.job("cold").hit_rate <= server.job("warm").hit_rate + 0.5
+
+    def test_duplicate_job_id_rejected(self):
+        server = BatchInferenceServer()
+        server.submit_job("a", ["p"], output_lens=[1])
+        with pytest.raises(ServingError):
+            server.submit_job("a", ["p"], output_lens=[1])
+
+    def test_empty_job_rejected(self):
+        server = BatchInferenceServer()
+        with pytest.raises(ServingError):
+            server.submit_job("empty", [])
+
+    def test_unknown_job(self):
+        server = BatchInferenceServer()
+        with pytest.raises(ServingError):
+            server.job("ghost")
+
+    def test_lifetime_rollup_and_report(self):
+        server = BatchInferenceServer()
+        server.submit_job("a", prompts("x"), output_lens=[1] * 5)
+        server.submit_job("b", prompts("x"), output_lens=[1] * 5)
+        assert 0.0 <= server.stats.lifetime_hit_rate <= 1.0
+        assert server.stats.total_seconds > 0
+        report = server.report()
+        assert "lifetime hit rate" in report
+        assert "a" in report and "b" in report
+
+    def test_outputs_passed_through(self):
+        server = BatchInferenceServer()
+        res = server.submit_job("o", ["p1", "p2"], outputs=["yes", "no"])
+        assert res.outputs == ["yes", "no"]

@@ -1,0 +1,85 @@
+"""Tests for the deterministic tokenizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.tokenizer import HashTokenizer
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        tok = HashTokenizer()
+        text = 'Hello, world! {"field": "value"}'
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_empty(self):
+        tok = HashTokenizer()
+        assert tok.encode("") == []
+        assert tok.decode([]) == ""
+
+    def test_same_text_same_ids(self):
+        tok = HashTokenizer()
+        assert tok.encode("abc def") == tok.encode("abc def")
+
+    def test_long_words_chunked(self):
+        tok = HashTokenizer(max_piece_len=4)
+        ids = tok.encode("abcdefgh")
+        assert len(ids) == 2
+        assert tok.decode(ids) == "abcdefgh"
+
+    def test_count_matches_encode(self):
+        tok = HashTokenizer()
+        text = "the quick brown fox, jumped over 42 lazy dogs!"
+        assert tok.count(text) == len(tok.encode(text))
+
+    def test_count_does_not_grow_vocab(self):
+        tok = HashTokenizer()
+        tok.count("completely new words here")
+        assert tok.vocab_size == 0
+
+    def test_realistic_density(self):
+        tok = HashTokenizer()
+        text = " ".join(["review"] * 50 + ["excellent"] * 50)
+        # ~2 pieces per word+space: well under 1 token per char.
+        assert len(tok.encode(text)) < len(text) / 2
+
+    def test_invalid_piece_len(self):
+        with pytest.raises(ValueError):
+            HashTokenizer(max_piece_len=0)
+
+    def test_unknown_id_decode(self):
+        tok = HashTokenizer()
+        with pytest.raises(ValueError):
+            tok.decode([999])
+
+
+class TestPrefixStability:
+    def test_shared_prefix_shares_tokens(self):
+        tok = HashTokenizer()
+        a = tok.encode('header {"f": "x"}')
+        b = tok.encode('header {"f": "y"}')
+        # Common string prefix 'header {"f": "' => common token prefix.
+        k = 0
+        while k < min(len(a), len(b)) and a[k] == b[k]:
+            k += 1
+        assert k >= len(tok.encode('header {"f": "')) - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="ab c.", min_size=0, max_size=40),
+           st.text(alphabet="ab c.", min_size=0, max_size=40))
+    def test_roundtrip_property(self, a, b):
+        tok = HashTokenizer()
+        text = a + b
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="xy z,", min_size=1, max_size=30))
+    def test_concatenation_extends_tokens(self, prefix):
+        # A prefix ending in punctuation/space is a piece boundary:
+        # encode(prefix + suffix) starts with encode(prefix).
+        tok = HashTokenizer()
+        p = prefix + "."
+        full = tok.encode(p + "tail words")
+        head = tok.encode(p)
+        assert full[: len(head)] == head

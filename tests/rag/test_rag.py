@@ -1,0 +1,115 @@
+"""Tests for the RAG substrate: embeddings, vector index, retriever."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.rag import HashingEmbedder, Retriever, VectorIndex
+
+
+class TestEmbedder:
+    def test_unit_norm(self):
+        e = HashingEmbedder(dim=64)
+        v = e.embed_one("some words about beer and reviews")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        e = HashingEmbedder(dim=64)
+        a = e.embed_one("hello world")
+        b = e.embed_one("hello world")
+        assert np.allclose(a, b)
+
+    def test_similar_texts_closer(self):
+        e = HashingEmbedder(dim=256)
+        base = e.embed_one("zorro baku lemi toki rensa waldo pim")
+        near = e.embed_one("zorro baku lemi toki other words here")
+        far = e.embed_one("completely different vocabulary entirely")
+        assert float(base @ near) > float(base @ far)
+
+    def test_empty_text(self):
+        e = HashingEmbedder(dim=32)
+        assert np.allclose(e.embed_one(""), 0.0)
+
+    def test_batch_shape(self):
+        e = HashingEmbedder(dim=32)
+        assert e.embed(["a", "b", "c"]).shape == (3, 32)
+        assert e.embed([]).shape == (0, 32)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=2)
+
+
+class TestVectorIndex:
+    def test_exact_self_retrieval(self):
+        e = HashingEmbedder(dim=128)
+        texts = [f"passage {i} zimba loko rem{i}" for i in range(10)]
+        vecs = e.embed(texts)
+        idx = VectorIndex(128)
+        idx.add(range(10), vecs)
+        ids, scores = idx.search(vecs, k=1)
+        assert list(ids[:, 0]) == list(range(10))
+        assert np.allclose(scores[:, 0], 1.0)
+
+    def test_k_larger_than_index(self):
+        idx = VectorIndex(4)
+        idx.add([0], np.eye(4)[:1])
+        ids, scores = idx.search(np.eye(4)[:1], k=3)
+        assert ids[0, 0] == 0 and ids[0, 1] == -1
+        assert scores[0, 1] == -np.inf
+
+    def test_empty_index(self):
+        idx = VectorIndex(4)
+        ids, _ = idx.search(np.zeros((2, 4)), k=2)
+        assert (ids == -1).all()
+
+    def test_shape_validation(self):
+        idx = VectorIndex(4)
+        with pytest.raises(ReproError):
+            idx.add([0], np.zeros((1, 5)))
+        with pytest.raises(ReproError):
+            idx.add([0, 1], np.zeros((1, 4)))
+        with pytest.raises(ReproError):
+            idx.search(np.zeros((1, 5)), k=1)
+
+    def test_deterministic_tiebreak(self):
+        idx = VectorIndex(4)
+        same = np.tile(np.array([[1.0, 0, 0, 0]]), (3, 1))
+        idx.add([10, 11, 12], same)
+        ids, _ = idx.search(same[:1], k=3)
+        assert list(ids[0]) == [10, 11, 12]  # insertion order on ties
+
+
+class TestRetriever:
+    def make(self):
+        corpus = [
+            "zimba loko remra about brewing and hops",
+            "tasty pilsner notes malta zimba",
+            "movie review cinema plot acting",
+            "space ships aliens scifi plot",
+        ]
+        return Retriever(corpus)
+
+    def test_retrieves_topically(self):
+        r = self.make()
+        [ctx] = r.retrieve(["zimba loko brewing"], k=2)
+        assert "zimba" in ctx[0]
+
+    def test_retrieve_table_shape(self):
+        r = self.make()
+        t = r.retrieve_table(["zimba hops", "cinema plot"], k=3,
+                             question_field="claim", context_prefix="evidence")
+        assert t.fields == ("claim", "evidence1", "evidence2", "evidence3")
+        assert t.n_rows == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Retriever([])
+        r = self.make()
+        with pytest.raises(ReproError):
+            r.retrieve(["q"], k=0)
+
+    def test_shared_contexts_for_similar_questions(self):
+        r = self.make()
+        t = r.retrieve_table(["zimba loko", "loko zimba brewing"], k=1)
+        assert t.column("context1")[0] == t.column("context1")[1]

@@ -1,0 +1,82 @@
+"""Tests for expression evaluation."""
+
+import pytest
+
+from repro.errors import SchemaError, SQLError
+from repro.relational.expressions import (
+    And,
+    Cmp,
+    Col,
+    ExecutionContext,
+    IsNotNull,
+    Lit,
+    LLMExpr,
+    Not,
+    Or,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def t():
+    return Table({"a": [1, 2, 3], "b": ["x", "y", None], "q.c": [7, 8, 9]})
+
+
+class TestBasic:
+    def test_col(self, t):
+        assert Col("a").eval(t) == [1, 2, 3]
+
+    def test_col_qualified_resolution(self):
+        t = Table({"c": [1, 2]})
+        assert Col("alias.c").eval(t) == [1, 2]
+
+    def test_col_unknown(self, t):
+        with pytest.raises(SchemaError):
+            Col("zz").eval(t)
+
+    def test_lit(self, t):
+        assert Lit(5).eval(t) == [5, 5, 5]
+
+    def test_cmp_eq(self, t):
+        assert Cmp("=", Col("a"), Lit(2)).eval(t) == [False, True, False]
+
+    def test_cmp_ordering(self, t):
+        assert Cmp(">=", Col("a"), Lit(2)).eval(t) == [False, True, True]
+
+    def test_cmp_bad_op(self):
+        with pytest.raises(SQLError):
+            Cmp("~", Col("a"), Lit(1))
+
+    def test_boolean_combinators(self, t):
+        gt1 = Cmp(">", Col("a"), Lit(1))
+        lt3 = Cmp("<", Col("a"), Lit(3))
+        assert And(gt1, lt3).eval(t) == [False, True, False]
+        assert Or(gt1, lt3).eval(t) == [True, True, True]
+        assert Not(gt1).eval(t) == [True, False, False]
+
+    def test_is_not_null(self, t):
+        assert IsNotNull(Col("b")).eval(t) == [True, True, False]
+
+    def test_referenced_columns(self, t):
+        e = And(Cmp("=", Col("a"), Lit(1)), IsNotNull(Col("b")))
+        assert e.referenced_columns(t) == {"a", "b"}
+
+
+class TestLLMExpr:
+    def test_requires_runtime(self, t):
+        with pytest.raises(SQLError):
+            LLMExpr("q", ("a",)).eval(t)
+        with pytest.raises(SQLError):
+            LLMExpr("q", ("a",)).eval(t, ExecutionContext())
+
+    def test_star_expansion(self, t):
+        e = LLMExpr("q", ("*",))
+        assert e.expanded_fields(t) == ["a", "b", "q.c"]
+
+    def test_explicit_fields_preserved_and_deduped(self, t):
+        e = LLMExpr("q", ("b", "a", "b"))
+        assert e.expanded_fields(t) == ["b", "a"]
+
+    def test_table_star(self, t):
+        e = LLMExpr("q", ("pr.*",))
+        assert e.expanded_fields(t) == ["a", "b", "q.c"]
