@@ -5,6 +5,12 @@ Modules
 ``table``
     :class:`~repro.core.table.ReorderTable`, the minimal table view the
     solvers operate on (field names + string cell values).
+``compiled``
+    Dictionary-encoded columnar form of a table (int32 value codes,
+    precomputed length/squared-length arrays, shared cell pool), built
+    once per table and cached. All solver hot paths run on it when numpy
+    is available; ``REPRO_CORE_FASTPATH=0`` forces the pure-Python
+    reference paths, which stay the equivalence oracle.
 ``phc``
     The prefix hit count objective (paper Eq. 1-2) and derived metrics.
 ``ordering``
@@ -24,6 +30,7 @@ Modules
     One-call facade selecting a policy and validating its output.
 """
 
+from repro.core.compiled import CompiledTable, compile_table, fastpath_enabled
 from repro.core.fd import FunctionalDependencies, mine_fds
 from repro.core.ggr import GGRConfig, ggr
 from repro.core.ophr import brute_force_optimal, ophr
@@ -37,6 +44,9 @@ from repro.core.table import ReorderTable
 
 __all__ = [
     "ReorderTable",
+    "CompiledTable",
+    "compile_table",
+    "fastpath_enabled",
     "RequestSchedule",
     "FunctionalDependencies",
     "mine_fds",

@@ -19,6 +19,7 @@ import itertools
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.compiled import compile_table, fastpath_enabled
 from repro.core.ordering import RequestSchedule
 from repro.core.phc import phc
 from repro.core.table import ReorderTable
@@ -58,7 +59,26 @@ def ophr(
 
     rows0 = tuple(range(table.n_rows))
     cols0 = tuple(range(table.n_fields))
-    data = table.rows
+    # Reuse the dictionary encoding when available: grouping and value
+    # ordering run on small ints instead of full strings. Codes are
+    # assigned in sorted value order, so ``sorted(groups)`` and value
+    # weights are unchanged and the emitted schedule is identical.
+    if fastpath_enabled():
+        ct = compile_table(table)
+        data: Sequence[Sequence[int]] = [
+            tuple(int(c) for c in ct.codes[i]) for i in range(table.n_rows)
+        ]
+        sq = [tuple(int(w) for w in col_sq) for col_sq in ct.code_sq]
+
+        def weight(c: int, v) -> int:
+            return sq[c][v]
+
+    else:
+        data = table.rows
+
+        def weight(c: int, v) -> int:
+            return len(v) ** 2
+
     memo: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], Tuple[int, Layout]] = {}
 
     def solve(rows: Tuple[int, ...], cols: Tuple[int, ...]) -> Tuple[int, Layout]:
@@ -78,11 +98,11 @@ def ophr(
             return result
         if len(cols) == 1:
             c = cols[0]
-            groups: Dict[str, List[int]] = {}
+            groups: Dict = {}
             for r in rows:
                 groups.setdefault(data[r][c], []).append(r)
             score = sum(
-                len(v) ** 2 * (len(rs) - 1) for v, rs in groups.items()
+                weight(c, v) * (len(rs) - 1) for v, rs in groups.items()
             )
             layout: Layout = [
                 (r, (c,))
@@ -101,7 +121,7 @@ def ophr(
                 groups.setdefault(data[r][c], []).append(r)
             rest_cols = tuple(x for x in cols if x != c)
             for v, group_rows in groups.items():
-                contribution = len(v) ** 2 * (len(group_rows) - 1)
+                contribution = weight(c, v) * (len(group_rows) - 1)
                 other_rows = tuple(r for r in rows if data[r][c] != v)
                 score_a, layout_a = solve(other_rows, cols)
                 score_b, layout_b = solve(tuple(group_rows), rest_cols)

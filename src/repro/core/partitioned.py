@@ -12,6 +12,25 @@ cross-partition sharing. Two mechanisms recover most of that loss:
   lexicographic order of their leading prefix, so the boundary rows of
   consecutive partitions have a chance to match too.
 
+``partitioned_reorder(parallel=True)`` actually fans the per-partition
+solves out over a :class:`concurrent.futures.ProcessPoolExecutor`, so
+``solver_seconds`` becomes measured multi-worker wall-clock rather than the
+``critical_path_seconds`` simulation. The pool is kept cheap:
+
+* under the ``fork`` start method workers inherit the parent table
+  copy-on-write through a module global — jobs carry only row-id lists;
+  other start methods fall back to pickling the table once per worker via
+  the pool initializer;
+* workers return compact index-level layouts (row order + per-row column
+  order), not materialized cell objects;
+* the parent rebuilds and index-validates the stitched schedule itself, so
+  parallel and sequential runs return identical schedules.
+
+Worker count defaults to the CPUs this process may actually use
+(``os.sched_getaffinity``), so on a single-core host ``parallel=True``
+degrades to the sequential path instead of paying pool overhead for
+nothing; pass ``max_workers`` to force a pool.
+
 ``partitioned_reorder`` returns the same validated
 :class:`~repro.core.ordering.RequestSchedule` as the whole-table solver, so
 everything downstream (engine, pricing, accuracy) is unchanged.
@@ -19,6 +38,7 @@ everything downstream (engine, pricing, accuracy) is unchanged.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,10 +48,26 @@ from repro.core.ggr import GGRConfig, ggr
 from repro.core.ordering import RequestSchedule
 from repro.core.phc import phc, phr
 from repro.core.stats import TableStats
-from repro.core.table import ReorderTable
+from repro.core.table import Cell, OrderedRow, ReorderTable
 from repro.errors import SolverError
 
 PARTITION_MODES = ("round_robin", "range", "clustered")
+
+#: One partition's solve result in compact index form:
+#: (row order within the sub-table, per-row column orders, solve seconds).
+_PartitionSolve = Tuple[List[int], List[Tuple[int, ...]], float]
+
+#: Worker-process state installed by the pool initializer.
+_WORKER_STATE: Optional[
+    Tuple[ReorderTable, Optional[FunctionalDependencies], Optional[GGRConfig]]
+] = None
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass
@@ -45,6 +81,8 @@ class PartitionedResult:
     partition_sizes: List[int]
     solver_seconds: float
     per_partition_seconds: List[float] = field(default_factory=list)
+    n_workers: int = 1
+    """Process-pool workers actually used (1 = sequential in-process)."""
 
     @property
     def critical_path_seconds(self) -> float:
@@ -83,6 +121,47 @@ def _assign_partitions(
     return parts
 
 
+def _init_worker(
+    table: ReorderTable,
+    fds: Optional[FunctionalDependencies],
+    config: Optional[GGRConfig],
+) -> None:
+    """Pool initializer: stash the shared solve inputs in the worker.
+
+    Under ``fork`` the arguments arrive through copy-on-write memory; under
+    ``spawn``/``forkserver`` they are pickled once per worker instead of
+    once per job.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = (table, fds, config)
+
+
+def _solve_rows(
+    table: ReorderTable,
+    row_ids: Sequence[int],
+    fds: Optional[FunctionalDependencies],
+    config: Optional[GGRConfig],
+) -> _PartitionSolve:
+    """Solve one partition; return its layout in sub-table indices."""
+    sub = ReorderTable(table.fields, [table.rows[i] for i in row_ids])
+    t0 = time.perf_counter()
+    _, sched, _ = ggr(sub, fds=fds, config=config)
+    seconds = time.perf_counter() - t0
+    field_idx = {f: i for i, f in enumerate(table.fields)}
+    row_order = [r.row_id for r in sched.rows]
+    field_orders = [
+        tuple(field_idx[c.field] for c in r.cells) for r in sched.rows
+    ]
+    return row_order, field_orders, seconds
+
+
+def _solve_partition_job(row_ids: List[int]) -> _PartitionSolve:
+    """Worker body: one pickled row-id list in, one compact layout out."""
+    assert _WORKER_STATE is not None, "pool initializer did not run"
+    table, fds, config = _WORKER_STATE
+    return _solve_rows(table, row_ids, fds, config)
+
+
 def partitioned_reorder(
     table: ReorderTable,
     n_partitions: int,
@@ -90,12 +169,18 @@ def partitioned_reorder(
     fds: Optional[FunctionalDependencies] = None,
     config: Optional[GGRConfig] = None,
     order_partitions: bool = True,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> PartitionedResult:
     """Solve each partition with GGR and stitch the schedules together.
 
     ``mode`` picks the row→partition assignment (see module docstring).
     ``order_partitions`` sorts the solved partitions by their first row's
     rendered prefix so consecutive partitions may share cache state.
+    ``parallel=True`` fans the per-partition solves out over a process
+    pool; ``max_workers`` caps the pool (default: the CPUs available to
+    this process, bounded by the partition count). The parallel and
+    sequential paths return identical schedules.
     """
     if mode not in PARTITION_MODES:
         raise SolverError(f"mode must be one of {PARTITION_MODES}, got {mode!r}")
@@ -104,33 +189,57 @@ def partitioned_reorder(
     n_partitions = min(n_partitions, max(1, table.n_rows))
 
     assignments = [p for p in _assign_partitions(table, n_partitions, mode) if p]
+
     start = time.perf_counter()
-    solved: List[Tuple[Tuple[str, ...], List]] = []
+    n_workers = 1
+    if parallel and len(assignments) > 1:
+        n_workers = min(max_workers or _available_cpus(), len(assignments))
+    if n_workers > 1:
+        import concurrent.futures
+        import multiprocessing as mp
+
+        try:
+            # Prefer fork: workers inherit the (immutable) table through
+            # copy-on-write instead of a per-worker pickle.
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else None)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(table, fds, config),
+            ) as pool:
+                solves = list(pool.map(_solve_partition_job, assignments))
+        except OSError:
+            # Process pools can be unavailable (restricted sandboxes);
+            # degrade to the in-process sequential path.
+            n_workers = 1
+            solves = [_solve_rows(table, p, fds, config) for p in assignments]
+    else:
+        solves = [_solve_rows(table, p, fds, config) for p in assignments]
+
+    solved: List[Tuple[Tuple[str, ...], List[Tuple[int, Tuple[int, ...]]]]] = []
     per_partition: List[float] = []
-    for rows in assignments:
-        sub = ReorderTable(table.fields, [table.rows[i] for i in rows])
-        t0 = time.perf_counter()
-        _, sched, _ = ggr(sub, fds=fds, config=config)
-        per_partition.append(time.perf_counter() - t0)
-        # Remap sub-table row ids back to the parent table.
-        remapped = []
-        for row in sched.rows:
-            remapped.append((rows[row.row_id], row.cells))
-        sort_key = tuple(c.value for c in remapped[0][1]) if remapped else ()
+    for rows, (row_order, field_orders, seconds) in zip(assignments, solves):
+        per_partition.append(seconds)
+        remapped = [
+            (rows[sub_rid], forder)
+            for sub_rid, forder in zip(row_order, field_orders)
+        ]
+        if remapped:
+            first_rid, first_order = remapped[0]
+            src = table.rows[first_rid]
+            sort_key = tuple(src[c] for c in first_order)
+        else:
+            sort_key = ()
         solved.append((sort_key, remapped))
     if order_partitions:
         solved.sort(key=lambda kv: kv[0])
+
+    schedule = _schedule_from_global_layout(
+        table, [entry for _, part in solved for entry in part]
+    )
     elapsed = time.perf_counter() - start
-
-    from repro.core.table import OrderedRow
-
-    rows_out = [
-        OrderedRow(row_id=rid, cells=cells)
-        for _, part in solved
-        for rid, cells in part
-    ]
-    schedule = RequestSchedule(rows=rows_out, source_fields=table.fields)
-    schedule.validate_against(table)
     return PartitionedResult(
         schedule=schedule,
         exact_phc=phc(schedule),
@@ -139,4 +248,38 @@ def partitioned_reorder(
         partition_sizes=[len(p) for p in assignments],
         solver_seconds=elapsed,
         per_partition_seconds=per_partition,
+        n_workers=n_workers,
     )
+
+
+def _schedule_from_global_layout(
+    table: ReorderTable, layout: List[Tuple[int, Tuple[int, ...]]]
+) -> RequestSchedule:
+    """Materialize and validate a stitched whole-table layout.
+
+    Cells are drawn from the table by (row, column) index, so index-level
+    permutation checks are sufficient for schedule validity — no per-cell
+    string sorting. Uses the compiled cell pool when available.
+    """
+    from repro.core.compiled import (
+        compile_table,
+        fastpath_enabled,
+        schedule_from_layout,
+        validate_layout,
+    )
+
+    if fastpath_enabled():
+        return schedule_from_layout(compile_table(table), layout)
+
+    validate_layout(table.n_rows, table.n_fields, layout)
+    fields = table.fields
+    rows_out: List[OrderedRow] = []
+    for rid, forder in layout:
+        src = table.rows[rid]
+        rows_out.append(
+            OrderedRow(
+                row_id=rid,
+                cells=tuple(Cell(fields[c], src[c]) for c in forder),
+            )
+        )
+    return RequestSchedule(rows=rows_out, source_fields=fields)

@@ -20,19 +20,33 @@ Two matching granularities are supported:
 Besides the squared objective the module provides linear-token variants used
 for the *prefix hit rate* (PHR) reported in the paper's Table 2: the fraction
 of input characters/tokens covered by prefix hits.
+
+Evaluating a whole :class:`RequestSchedule` has a compiled fast path: the
+schedule's cells are dictionary-encoded once into integer id / weight
+matrices (cached on the schedule object — schedules are treated as
+immutable once built), after which PHC, per-row hits, and the token-level
+PHR reduce to vectorized prefix-run computations. The cell-by-cell string
+path remains for plain cell-row sequences, for custom ``token_len``
+callables, and as the reference oracle when the fast path is disabled
+(``REPRO_CORE_FASTPATH=0``).
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.compiled import HAVE_NUMPY, fastpath_enabled
 from repro.core.ordering import RequestSchedule
 from repro.core.table import Cell
+
+if HAVE_NUMPY:
+    import numpy as np
 
 MatchMode = str
 CellRow = Sequence[Cell]
 
 _VALID_MODES = ("cell", "value")
+_ENC_ATTR = "_phc_encoding_cache"
 
 
 def _check_mode(mode: MatchMode) -> None:
@@ -69,11 +83,85 @@ def _as_cell_rows(schedule: Union[RequestSchedule, Sequence[CellRow]]) -> List[C
     return list(schedule)
 
 
+# --------------------------------------------------------------------------
+# Compiled fast path: dictionary-encode a schedule's cells once, then
+# evaluate PHC / per-row hits / token PHR as vectorized prefix runs.
+# --------------------------------------------------------------------------
+
+
+class _ScheduleEncoding:
+    """Integer-code matrices for one schedule, one per match mode.
+
+    ``ids[i, j]`` is the dictionary code of row ``i``'s ``j``-th cell
+    (rows shorter than the widest get a per-row negative sentinel so
+    padding never matches across rows), ``sq`` the squared value length,
+    ``tok`` the default token-length unit of the cell.
+    """
+
+    __slots__ = ("ids", "sq", "tok", "row_lens")
+
+    def __init__(self, rows: List[CellRow], mode: MatchMode):
+        n = len(rows)
+        width = max((len(r) for r in rows), default=0)
+        ids = np.empty((n, width), dtype=np.int64)
+        sq = np.zeros((n, width), dtype=np.int64)
+        tok = np.zeros((n, width), dtype=np.int64)
+        codebook: dict = {}
+        for i, row in enumerate(rows):
+            # Per-row sentinel: padded tails of adjacent rows never match.
+            ids[i, len(row):] = -(i + 1)
+            for j, cell in enumerate(row):
+                key = (cell.field, cell.value) if mode == "cell" else cell.value
+                code = codebook.get(key)
+                if code is None:
+                    code = len(codebook)
+                    codebook[key] = code
+                ids[i, j] = code
+                lv = len(cell.value)
+                sq[i, j] = lv * lv
+                tok[i, j] = (len(cell.field) + lv + 3) // 4 + 1
+        self.ids = ids
+        self.sq = sq
+        self.tok = tok
+        self.row_lens = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+
+    def prefix_run(self) -> "np.ndarray":
+        """Boolean (n-1, width) matrix: position still inside the matched
+        prefix of row ``i`` against row ``i-1``."""
+        if len(self.ids) < 2 or self.ids.shape[1] == 0:
+            return np.zeros((max(len(self.ids) - 1, 0), self.ids.shape[1]), dtype=bool)
+        eq = self.ids[1:] == self.ids[:-1]
+        return np.logical_and.accumulate(eq, axis=1)
+
+
+def _encoding_for(
+    schedule: RequestSchedule, mode: MatchMode
+) -> Optional[_ScheduleEncoding]:
+    """Cached encoding of a schedule, or None when the fast path is off."""
+    if not fastpath_enabled():
+        return None
+    cache = getattr(schedule, _ENC_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(schedule, _ENC_ATTR, cache)
+    enc = cache.get(mode)
+    if enc is None:
+        enc = _ScheduleEncoding([r.cells for r in schedule.rows], mode)
+        cache[mode] = enc
+    return enc
+
+
 def phc(schedule: Union[RequestSchedule, Sequence[CellRow]], mode: MatchMode = "cell") -> int:
     """Paper Eq. 1: total prefix hit count of a schedule.
 
     The first row always contributes 0 (a cold miss).
     """
+    _check_mode(mode)
+    if isinstance(schedule, RequestSchedule):
+        enc = _encoding_for(schedule, mode)
+        if enc is not None:
+            run = enc.prefix_run()
+            return int(enc.sq[1:][run].sum()) if run.size else 0
     rows = _as_cell_rows(schedule)
     total = 0
     for r in range(1, len(rows)):
@@ -85,6 +173,15 @@ def per_row_hits(
     schedule: Union[RequestSchedule, Sequence[CellRow]], mode: MatchMode = "cell"
 ) -> List[int]:
     """Squared hit count per row (index 0 is always 0)."""
+    _check_mode(mode)
+    if isinstance(schedule, RequestSchedule):
+        enc = _encoding_for(schedule, mode)
+        if enc is not None:
+            n = len(schedule.rows)
+            run = enc.prefix_run()
+            if not run.size:
+                return [0] * n
+            return [0] + (enc.sq[1:] * run).sum(axis=1).tolist()
     rows = _as_cell_rows(schedule)
     out = [0] * len(rows)
     for r in range(1, len(rows)):
@@ -104,8 +201,18 @@ def prefix_hit_tokens(
     ``ceil((len(field) + len(value)) / 4) + 1``, i.e. one token per ~4
     characters of the rendered ``"field": value`` text plus separator —
     close enough to rank policies; the serving simulator measures the real
-    thing with its tokenizer.
+    thing with its tokenizer. The fast path only applies under the default
+    measure; a custom ``token_len`` always takes the reference path.
     """
+    _check_mode(mode)
+    if token_len is None and isinstance(schedule, RequestSchedule):
+        enc = _encoding_for(schedule, mode)
+        if enc is not None:
+            total_units = int(enc.tok.sum())
+            run = enc.prefix_run()
+            hit_units = int(enc.tok[1:][run].sum()) if run.size else 0
+            return hit_units, total_units
+
     if token_len is None:
         def token_len(cell: Cell) -> int:
             return (len(cell.field) + len(cell.value) + 3) // 4 + 1

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.compiled import compile_table, fastpath_enabled
 from repro.core.table import ReorderTable
 
 SCORE_MODES = ("expected", "paper")
@@ -65,6 +66,55 @@ class TableStats:
 
     @staticmethod
     def compute(table: ReorderTable) -> "TableStats":
+        """Statistics for ``table``.
+
+        Uses the dictionary-encoded columnar form when available (one
+        ``bincount`` per column instead of a Python dict pass); falls back
+        to the reference string path otherwise. Both produce identical
+        results, including the first-appearance tie-break on ``top_value``.
+        """
+        if fastpath_enabled():
+            return TableStats._compute_compiled(table)
+        return TableStats._compute_python(table)
+
+    @staticmethod
+    def _compute_compiled(table: ReorderTable) -> "TableStats":
+        import numpy as np
+
+        ct = compile_table(table)
+        n = ct.n_rows
+        cols: List[ColumnStats] = []
+        for idx, name in enumerate(table.fields):
+            lens = ct.code_lens[idx]
+            counts = np.bincount(ct.codes[:, idx], minlength=len(lens))
+            if n and len(lens):
+                top_count = int(counts.max())
+                tied = np.flatnonzero(counts == top_count)
+                # Reference keeps the first value (in row order) to reach
+                # the max count: break ties by first occurrence.
+                pick = int(tied[np.argmin(ct.first_pos[idx][tied])])
+                top_value = ct.values[idx][pick]
+                total_len = int((lens * counts).sum())
+                max_len = int(lens.max())
+            else:
+                top_value, top_count, total_len, max_len = "", 0, 0, 0
+            cols.append(
+                ColumnStats(
+                    name=name,
+                    n_rows=n,
+                    n_distinct=len(lens),
+                    avg_len=(total_len / n) if n else 0.0,
+                    max_len=max_len,
+                    total_len=total_len,
+                    top_value=top_value,
+                    top_count=top_count,
+                )
+            )
+        return TableStats(n_rows=n, columns=tuple(cols))
+
+    @staticmethod
+    def _compute_python(table: ReorderTable) -> "TableStats":
+        """Reference string-path implementation (equivalence oracle)."""
         cols: List[ColumnStats] = []
         for idx, name in enumerate(table.fields):
             values = table.column(idx)

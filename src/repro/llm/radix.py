@@ -37,9 +37,11 @@ class _Node:
 
 
 def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
+    # Compare in place: callers pre-check full edge equality with one
+    # C-level tuple compare, so by the time we get here the sequences
+    # diverge somewhere — an eager whole-prefix tuple comparison would
+    # allocate two copies just to discover that mismatch.
     n = min(len(a), len(b))
-    if n and tuple(a[:n]) == tuple(b[:n]):
-        return n
     for i in range(n):
         if a[i] != b[i]:
             return i
@@ -143,12 +145,16 @@ class RadixPrefixCache:
             child = node.children.get(tokens[pos])
             if child is None:
                 break
-            k = _common_prefix_len(child.edge, tokens[pos:])
+            edge = child.edge
+            if tokens[pos : pos + len(edge)] == edge:
+                k = len(edge)
+            else:
+                k = _common_prefix_len(edge, tokens[pos:])
             if k == 0:
                 break
             ids.add(child.node_id)
             pos += k
-            if k < len(child.edge):
+            if k < len(edge):
                 break
             node = child
         return ids

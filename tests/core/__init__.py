@@ -1,0 +1,1 @@
+"""Test package (unique import paths for same-basename test modules)."""

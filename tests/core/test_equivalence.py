@@ -1,0 +1,216 @@
+"""Randomized equivalence: compiled fast paths vs. the string reference.
+
+The compiled engines are rewrites of the hot paths, not re-derivations of
+the algorithm — so the contract is *exact* equivalence: identical PHC/PHR
+numbers, identical GGR schedules (row order, per-row field orders, cell
+values), identical statistics and mined FDs, across table shapes, FD
+configurations, and ``GGRConfig`` variants. These tests draw randomized
+tables with heavy value duplication (so grouping, FDs, fallbacks, and
+tie-breaks all fire) and assert the two paths agree cell-for-cell.
+"""
+
+import random
+
+import pytest
+
+from repro.core.compiled import HAVE_NUMPY
+from repro.core.fd import FunctionalDependencies, mine_fds
+from repro.core.ggr import GGRConfig, ggr
+from repro.core.ophr import ophr
+from repro.core.partitioned import PARTITION_MODES, partitioned_reorder
+from repro.core.phc import per_row_hits, phc, phr, prefix_hit_tokens
+from repro.core.stats import TableStats
+from repro.core.table import ReorderTable
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+VALUE_POOLS = (
+    ["a", "bb", "ccc", "dddd"],
+    ["x", "x", "yy", "yy", "zzz"],  # duplication-heavy
+    ["alpha", "beta", "gamma-long-value", ""],
+)
+
+
+def random_table(rng: random.Random) -> ReorderTable:
+    n = rng.randint(1, 28)
+    m = rng.randint(1, 5)
+    fields = [f"f{j}" for j in range(m)]
+    cols = []
+    for j in range(m):
+        pool = rng.choice(VALUE_POOLS)
+        # Small effective cardinality so groups repeat; occasionally unique.
+        k = rng.randint(1, len(pool))
+        cols.append([rng.choice(pool[:k]) for _ in range(n)])
+    # An FD-friendly pair: column 0 determines a synthesized column when
+    # m >= 2 (value derived from column 0's value).
+    if m >= 2 and rng.random() < 0.5:
+        cols[1] = [f"dep-{v}" for v in cols[0]]
+    rows = list(zip(*cols)) if m else []
+    return ReorderTable(fields, rows)
+
+
+def random_fds(rng: random.Random, table: ReorderTable):
+    roll = rng.random()
+    if roll < 0.4 or table.n_fields < 2:
+        return None
+    if roll < 0.7:
+        return FunctionalDependencies.from_groups([list(table.fields[:2])])
+    return mine_fds(table, sample_rows=0)
+
+
+CONFIGS = [
+    GGRConfig(),
+    GGRConfig(max_row_depth=10, max_col_depth=10),
+    GGRConfig(max_row_depth=0, max_col_depth=0),
+    GGRConfig(hitcount_threshold=20.0),
+    GGRConfig(square_fd_lengths=False),
+    GGRConfig(stats_score_mode="paper"),
+    GGRConfig(max_row_depth=1, max_col_depth=1, stats_score_mode="paper"),
+]
+
+
+def assert_same_schedule(s1, s2):
+    assert [r.row_id for r in s1.rows] == [r.row_id for r in s2.rows]
+    for a, b in zip(s1.rows, s2.rows):
+        assert a.cells == b.cells
+
+
+class TestGGREquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_tables_all_configs(self, seed):
+        rng = random.Random(seed)
+        table = random_table(rng)
+        fds = random_fds(rng, table)
+        for base in CONFIGS:
+            cfg_py = GGRConfig(**{**base.__dict__, "engine": "python"})
+            cfg_c = GGRConfig(**{**base.__dict__, "engine": "compiled"})
+            est_py, sched_py, rep_py = ggr(table, fds=fds, config=cfg_py)
+            est_c, sched_c, rep_c = ggr(table, fds=fds, config=cfg_c)
+            assert est_py == est_c
+            assert_same_schedule(sched_py, sched_c)
+            assert rep_py.groups_chosen == rep_c.groups_chosen
+            assert rep_py.fallback_blocks == rep_c.fallback_blocks
+            assert rep_py.fallback_rows == rep_c.fallback_rows
+            assert rep_py.recursion_steps == rep_c.recursion_steps
+            # Identical exact PHC is the acceptance bar.
+            assert phc(sched_py) == phc(sched_c)
+
+    def test_auto_engine_matches_python(self):
+        rng = random.Random(99)
+        table = random_table(rng)
+        est_a, sched_a, _ = ggr(table, config=GGRConfig(engine="auto"))
+        est_p, sched_p, _ = ggr(table, config=GGRConfig(engine="python"))
+        assert est_a == est_p
+        assert_same_schedule(sched_a, sched_p)
+
+    def test_fastpath_env_disables_compiled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "0")
+        table = random_table(random.Random(3))
+        est, sched, _ = ggr(table)  # runs the reference path
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "1")
+        est2, sched2, _ = ggr(table)
+        assert est == est2
+        assert_same_schedule(sched, sched2)
+
+
+class TestMetricEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("mode", ["cell", "value"])
+    def test_phc_phr_fast_vs_reference(self, seed, mode):
+        rng = random.Random(seed)
+        table = random_table(rng)
+        _, sched, _ = ggr(table, fds=random_fds(rng, table))
+        # Reference path: plain cell-row sequences never take the fast path.
+        ref_rows = [r.cells for r in sched.rows]
+        assert phc(sched, mode=mode) == phc(ref_rows, mode=mode)
+        assert per_row_hits(sched, mode=mode) == per_row_hits(ref_rows, mode=mode)
+        assert prefix_hit_tokens(sched, mode=mode) == prefix_hit_tokens(
+            ref_rows, mode=mode
+        )
+        assert phr(sched, mode=mode) == phr(ref_rows, mode=mode)
+
+    def test_value_mode_differs_from_cell_mode_when_fields_swap(self):
+        # Same value under different fields: the fast path must respect
+        # the mode distinction exactly like the reference.
+        t = ReorderTable(("a", "b"), [("v", "w"), ("w", "v")])
+        _, sched, _ = ggr(t, config=GGRConfig(max_row_depth=9, max_col_depth=9))
+        ref = [r.cells for r in sched.rows]
+        assert phc(sched, "value") == phc(ref, "value")
+        assert phc(sched, "cell") == phc(ref, "cell")
+
+    def test_custom_token_len_uses_reference(self):
+        t = ReorderTable(("a",), [("xx",), ("xx",)])
+        _, sched, _ = ggr(t)
+        custom = prefix_hit_tokens(sched, token_len=lambda c: 1)
+        assert custom == (1, 2)
+
+
+class TestStatsEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_compute_paths_identical(self, seed):
+        table = random_table(random.Random(seed))
+        fast = TableStats._compute_compiled(table)
+        ref = TableStats._compute_python(table)
+        assert fast == ref
+
+    def test_empty_table(self):
+        t = ReorderTable(("a", "b"), [])
+        assert TableStats._compute_compiled(t) == TableStats._compute_python(t)
+
+
+class TestMineFdsEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("tolerance", [0.0, 0.2])
+    def test_mined_edges_identical(self, seed, tolerance, monkeypatch):
+        table = random_table(random.Random(seed))
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "1")
+        fast = mine_fds(table, tolerance=tolerance, seed=seed)
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "0")
+        ref = mine_fds(table, tolerance=tolerance, seed=seed)
+        assert fast.edges() == ref.edges()
+
+    def test_sampled_rows_identical(self, monkeypatch):
+        table = random_table(random.Random(42))
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "1")
+        fast = mine_fds(table, sample_rows=max(2, table.n_rows // 2), seed=7)
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "0")
+        ref = mine_fds(table, sample_rows=max(2, table.n_rows // 2), seed=7)
+        assert fast.edges() == ref.edges()
+
+
+class TestOphrEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ophr_paths_identical(self, seed, monkeypatch):
+        rng = random.Random(seed)
+        t = ReorderTable(
+            ("a", "b"),
+            [
+                (rng.choice(["x", "yy"]), rng.choice(["p", "qq"]))
+                for _ in range(rng.randint(2, 6))
+            ],
+        )
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "1")
+        score_fast, sched_fast = ophr(t)
+        monkeypatch.setenv("REPRO_CORE_FASTPATH", "0")
+        score_ref, sched_ref = ophr(t)
+        assert score_fast == score_ref
+        assert_same_schedule(sched_fast, sched_ref)
+
+
+class TestPartitionedEquivalence:
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_parallel_matches_sequential(self, mode):
+        rows = [
+            (f"id{i:02d}", f"grp{i % 3}", f"desc-{i % 3}" * 2) for i in range(24)
+        ]
+        t = ReorderTable(("uid", "grp", "desc"), rows)
+        seq = partitioned_reorder(t, 4, mode=mode, parallel=False)
+        par = partitioned_reorder(t, 4, mode=mode, parallel=True, max_workers=2)
+        assert par.n_workers == 2
+        assert seq.exact_phc == par.exact_phc
+        assert_same_schedule(seq.schedule, par.schedule)
+
+    def test_parallel_single_partition_degrades(self):
+        t = ReorderTable(("a",), [("x",), ("y",)])
+        res = partitioned_reorder(t, 1, parallel=True, max_workers=4)
+        assert res.n_workers == 1
