@@ -8,7 +8,10 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     Deterministic incremental-vocabulary tokenizer (prefix-stable).
 ``radix``
     RadixAttention-style prefix cache over token sequences with LRU
-    eviction and pin-locking for running requests.
+    eviction and refcounted pin-locking for running requests. Eviction is
+    amortized through a lazy min-heap of evictable leaves; the original
+    full-tree-scan implementation stays selectable as the reference oracle
+    (``REPRO_SERVING_FASTPATH=0``).
 ``blocks``
     Paged KV block manager with ref-counted blocks (vLLM-style).
 ``hardware`` / ``models``
@@ -19,7 +22,11 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     term PHC's squared lengths model), bandwidth-bound decode.
 ``engine``
     Continuous-batching engine: admission limited by KV memory, sequential
-    prefill with radix lookups, batched decode steps.
+    prefill with radix lookups, batched decode steps. Replay is
+    event-driven by default — the clock jumps over whole runs of decode
+    steps with a closed-form cost — with the original per-token loop kept
+    as the equivalence oracle (``EngineConfig.mode`` /
+    ``REPRO_SERVING_FASTPATH``).
 ``client``
     High-level client: strings in, answers + usage + simulated latency out.
 ``pricing``
@@ -38,13 +45,15 @@ from repro.llm.pricing import (
     estimated_savings,
     openai_gpt4o_mini,
 )
-from repro.llm.radix import RadixPrefixCache
+from repro.llm.radix import RadixPrefixCache, pack_tokens, serving_fastpath_enabled
 from repro.llm.request import Request, RequestMetrics
 from repro.llm.tokenizer import HashTokenizer
 
 __all__ = [
     "HashTokenizer",
     "RadixPrefixCache",
+    "pack_tokens",
+    "serving_fastpath_enabled",
     "Request",
     "RequestMetrics",
     "GPUSpec",

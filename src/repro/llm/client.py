@@ -9,12 +9,13 @@ this).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServingError
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.radix import pack_tokens
 from repro.llm.request import Request
 from repro.llm.tokenizer import HashTokenizer
 
@@ -36,7 +37,21 @@ class BatchResult:
 
 
 class SimulatedLLMClient:
-    """Batch-generation client backed by :class:`SimulatedLLMEngine`."""
+    """Batch-generation client backed by :class:`SimulatedLLMEngine`.
+
+    ``encode`` results are memoized per prompt string: benchmark replays
+    send the same prompts (and the same short answer strings) over and over
+    — across invocations of a multi-stage query, across policies, across
+    repeated jobs — and re-tokenizing them dominated replay setup time.
+    Memoization is exact: the tokenizer's incremental vocabulary gives a
+    fixed string the same ids on every call. Returning the *same* tuple
+    object for a repeated prompt also lets the radix cache reuse its packed
+    probe across the match/insert/pin calls of identical prompts.
+    """
+
+    #: Bounded memo sizes (FIFO eviction); generous for any realistic
+    #: benchmark replay while keeping worst-case memory in check.
+    _MEMO_MAX = 1 << 16
 
     def __init__(
         self,
@@ -51,6 +66,35 @@ class SimulatedLLMClient:
         self.tokenizer = tokenizer or HashTokenizer()
         self.engine = SimulatedLLMEngine(model=model, cluster=cluster, config=self.engine_config)
         self._next_id = 0
+        self._encode_memo: Dict[str, Tuple[Tuple[int, ...], Optional[bytes]]] = {}
+        self._count_memo: Dict[str, int] = {}
+
+    def _encode_cached(self, text: str) -> Tuple[Tuple[int, ...], Optional[bytes]]:
+        """(token ids, packed bytes) for ``text``, memoized per string.
+
+        The packed form feeds the radix cache's allocation-free long-edge
+        compares; computing it here means each distinct prompt is packed
+        once, no matter how many times it is replayed.
+        """
+        memo = self._encode_memo
+        entry = memo.get(text)
+        if entry is None:
+            ids = tuple(self.tokenizer.encode(text))
+            entry = (ids, pack_tokens(ids))
+            if len(memo) >= self._MEMO_MAX:
+                memo.pop(next(iter(memo)))
+            memo[text] = entry
+        return entry
+
+    def _count_cached(self, text: str) -> int:
+        memo = self._count_memo
+        n = memo.get(text)
+        if n is None:
+            n = self.tokenizer.count(text)
+            if len(memo) >= self._MEMO_MAX:
+                memo.pop(next(iter(memo)))
+            memo[text] = n
+        return n
 
     def generate(
         self,
@@ -76,7 +120,7 @@ class SimulatedLLMClient:
         for i, prompt in enumerate(prompts):
             if outputs is not None:
                 text = outputs[i]
-                n_out = max(1, self.tokenizer.count(text))
+                n_out = max(1, self._count_cached(text))
             elif output_lens is not None:
                 text = ""
                 n_out = output_lens[i]
@@ -84,12 +128,14 @@ class SimulatedLLMClient:
                 text = ""
                 n_out = default_output_len
             out_texts.append(text)
+            ids, packed = self._encode_cached(prompt)
             requests.append(
                 Request(
                     request_id=self._next_id,
-                    prompt_tokens=tuple(self.tokenizer.encode(prompt)),
+                    prompt_tokens=ids,
                     output_tokens=n_out,
                     output_text=text,
+                    prompt_bytes=packed,
                 )
             )
             self._next_id += 1

@@ -115,6 +115,24 @@ class CostModel:
         kv_read = self.model.kv_bytes_per_token * float(sum(context_lengths)) / bw
         return weight_read + kv_read + self.step_overhead_s
 
+    def decode_run_time(self, context_sum: int, batch_size: int, steps: int) -> float:
+        """Seconds for ``steps`` consecutive decode steps of a *fixed* batch.
+
+        ``context_sum`` is the sum of the batch's context lengths at the
+        first step; every sequence grows by one token per step, so the KV
+        traffic over the run is an arithmetic series and the whole run is
+        priced in O(1) — the closed form behind the event-driven engine.
+        Equals the sum of :meth:`decode_step_time` over the run up to float
+        rounding.
+        """
+        if steps <= 0 or batch_size <= 0:
+            return 0.0
+        bw = self.cluster.effective_bandwidth * self.bw_util
+        weight_read = self.model.weight_bytes / bw
+        kv_tokens = steps * context_sum + batch_size * (steps * (steps - 1) // 2)
+        kv_read = self.model.kv_bytes_per_token * float(kv_tokens) / bw
+        return steps * (weight_read + self.step_overhead_s) + kv_read
+
     def decode_tokens_per_second(self, batch_size: int, context: int = 512) -> float:
         t = self.decode_step_time([context] * batch_size)
         return batch_size / t if t > 0 else float("inf")

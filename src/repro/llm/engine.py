@@ -8,10 +8,26 @@ server uses:
 * on admission the radix cache is probed: the matched prefix skips prefill,
   only the suffix is prefilled (compute-bound time from the cost model);
 * prompt KV lives in the shared radix cache (paths of running requests are
-  protected, the rest is LRU-evicted under pressure); decode KV is private
+  pinned, the rest is LRU-evicted under pressure); decode KV is private
   and reserved up front for admission control;
 * every decode step produces one token per running sequence and costs
   bandwidth-bound time (weights amortized over the batch).
+
+Two replay modes produce the same integer metrics (and clocks equal to
+float rounding):
+
+``mode="event"`` (default)
+    Event-driven: between admission and completion events the batch
+    composition is fixed, so the clock advances over whole runs of decode
+    steps with the closed-form arithmetic-series sum
+    (:meth:`CostModel.decode_run_time`) — O(batch) work per event instead
+    of O(steps x batch) Python work per token. Exact per-request
+    ``first_token_at_s``/``finished_at_s`` stamps are still produced.
+
+``mode="stepwise"``
+    The original per-token loop, kept as the equivalence oracle
+    (``REPRO_SERVING_FASTPATH=0`` selects it, plus the scan-based radix
+    eviction, everywhere).
 
 Disabling the prefix cache turns the same machinery into the paper's
 *No Cache* baseline: every prompt prefills fully and its KV is private,
@@ -22,13 +38,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ServingError
 from repro.llm.costmodel import CostModel
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
-from repro.llm.radix import RadixPrefixCache
+from repro.llm.radix import RadixPrefixCache, serving_fastpath_enabled
 from repro.llm.request import Request, RequestMetrics
 
 
@@ -38,12 +55,16 @@ class EngineConfig:
 
     ``max_batch_size`` caps concurrent sequences (vLLM ``max_num_seqs``);
     ``kv_capacity_tokens`` overrides the cost model's derived capacity
-    (useful for the memory-pressure ablation).
+    (useful for the memory-pressure ablation); ``mode`` selects the replay
+    engine: ``"event"`` (closed-form multi-step advance), ``"stepwise"``
+    (per-token reference loop), or ``"auto"`` (event unless
+    ``REPRO_SERVING_FASTPATH=0``).
     """
 
     enable_prefix_cache: bool = True
     max_batch_size: int = 64
     kv_capacity_tokens: Optional[int] = None
+    mode: str = "auto"
 
 
 @dataclass
@@ -52,6 +73,7 @@ class _Running:
     metrics: RequestMetrics
     reserved_tokens: int
     decoded: int = 0
+    pin: Optional[object] = None
 
     @property
     def context_len(self) -> int:
@@ -80,6 +102,14 @@ class EngineResult:
         return self.cached_tokens / self.prompt_tokens
 
 
+def _resolve_mode(mode: str) -> str:
+    if mode == "auto":
+        return "event" if serving_fastpath_enabled() else "stepwise"
+    if mode not in ("event", "stepwise"):
+        raise ServingError(f"unknown engine mode {mode!r}")
+    return mode
+
+
 class SimulatedLLMEngine:
     """Discrete-event engine; see module docstring."""
 
@@ -92,6 +122,7 @@ class SimulatedLLMEngine:
         self.model = model
         self.cluster = cluster
         self.config = config or EngineConfig()
+        self.mode = _resolve_mode(self.config.mode)
         self.cost = CostModel(model=model, cluster=cluster)
         self.capacity_tokens = (
             self.config.kv_capacity_tokens
@@ -100,10 +131,21 @@ class SimulatedLLMEngine:
         )
         if self.capacity_tokens <= 0:
             raise ServingError(f"no KV memory left for {model.name} on this cluster")
-        self.cache = RadixPrefixCache()
+        # The oracle mode keeps the scan-based cache so REPRO_SERVING_FASTPATH=0
+        # reproduces the original implementation end to end.
+        self.cache = RadixPrefixCache(
+            eviction="heap" if self.mode == "event" else "scan"
+        )
+        self._use_pins = self.mode == "event"
         self._waiting: Deque[Request] = deque()
         self._clock = 0.0
         self._private_tokens = 0
+        # Once the queue head fails admission on memory, nothing but a
+        # completion can change the outcome (the failed attempt already
+        # evicted everything evictable), so further attempts are skipped
+        # until one happens — both modes therefore probe the cache with an
+        # identical call sequence.
+        self._admission_blocked = False
 
     # ------------------------------------------------------------------ API
     def submit(self, request: Request) -> None:
@@ -120,6 +162,13 @@ class SimulatedLLMEngine:
         modelling a long-lived server (multi-invocation queries rely on
         this).
         """
+        self._admission_blocked = False
+        if self.mode == "event":
+            return self._run_event()
+        return self._run_stepwise()
+
+    # ----------------------------------------------------- stepwise oracle
+    def _run_stepwise(self) -> EngineResult:
         running: List[_Running] = []
         done: List[RequestMetrics] = []
         peak = 0
@@ -160,6 +209,102 @@ class SimulatedLLMEngine:
                     still.append(r)
             running = still
 
+        return self._result(done, decode_steps, peak, max_batch_seen)
+
+    # --------------------------------------------------- event-driven mode
+    def _run_event(self) -> EngineResult:
+        """O(events) replay: the batch is fixed between admission and
+        completion events, so each event advances the clock over a whole
+        run of decode steps with the closed-form sum. All per-batch state
+        (size, context-length sum, next completion) is maintained
+        incrementally — no per-event scans of the running set."""
+        done: List[RequestMetrics] = []
+        peak = 0
+        decode_steps = 0
+        max_batch_seen = 0
+
+        # (completion_step, admission_order, member): a request admitted at
+        # global step S with n output tokens completes at step S + n.
+        completions: List[Tuple[int, int, _Running]] = []
+        order = 0
+        batch = 0  # running sequences
+        context_sum = 0  # sum of their current context lengths
+        step = 0  # global decode-step counter
+        fresh: List[_Running] = []  # admitted, awaiting their first token
+
+        while self._waiting or batch:
+            wave: List[_Running] = []
+            self._admit(wave, n_active=batch)
+            if batch == 0 and not wave:
+                if self._waiting:
+                    raise ServingError("admission stalled with empty batch")
+                break
+            max_batch_seen = max(max_batch_seen, batch + len(wave))
+            peak = max(peak, self._used_tokens())
+
+            retired = False
+            for m in wave:
+                if m.request.output_tokens == 0:
+                    # Retired without a decode step, at the post-prefill clock.
+                    self._finish(m, done)
+                    retired = True
+                else:
+                    batch += 1
+                    context_sum += m.request.prompt_len
+                    heappush(
+                        completions,
+                        (step + m.request.output_tokens, order, m),
+                    )
+                    order += 1
+                    fresh.append(m)
+            if batch == 0:
+                continue
+
+            # Next event: the earliest completion. A zero-output retirement
+            # just freed capacity, and the stepwise loop re-attempts
+            # admission after exactly one decode step — mirror that cadence
+            # so both modes issue identical cache probes.
+            steps = completions[0][0] - step
+            if (
+                retired
+                and self._waiting
+                and batch < self.config.max_batch_size
+                and steps > 1
+            ):
+                steps = 1
+            first_dt = self.cost.decode_run_time(context_sum, batch, 1)
+            total_dt = (
+                first_dt
+                if steps == 1
+                else self.cost.decode_run_time(context_sum, batch, steps)
+            )
+            start = self._clock
+            self._clock = start + total_dt
+            decode_steps += steps
+            step += steps
+            context_sum += batch * steps
+            if fresh:
+                first_at = start + first_dt
+                for m in fresh:
+                    m.metrics.first_token_at_s = first_at
+                fresh.clear()
+            while completions and completions[0][0] <= step:
+                _, _, m = heappop(completions)
+                m.decoded = m.request.output_tokens
+                batch -= 1
+                context_sum -= m.context_len
+                self._finish(m, done)
+
+        return self._result(done, decode_steps, peak, max_batch_seen)
+
+    # ------------------------------------------------------------ internals
+    def _result(
+        self,
+        done: List[RequestMetrics],
+        decode_steps: int,
+        peak: int,
+        max_batch_seen: int,
+    ) -> EngineResult:
         done.sort(key=lambda m: m.request_id)
         return EngineResult(
             total_seconds=self._clock,
@@ -173,44 +318,65 @@ class SimulatedLLMEngine:
             max_batch_seen=max_batch_seen,
         )
 
-    # ------------------------------------------------------------ internals
     def _used_tokens(self) -> int:
         return self.cache.total_tokens + self._private_tokens
 
-    def _admit(self, running: List[_Running]) -> None:
+    def _admit(self, running: List[_Running], n_active: Optional[int] = None) -> None:
+        """Admit FIFO while memory and batch slots allow, appending members
+        to ``running``. The stepwise loop passes its full running list;
+        the event loop passes an empty wave list plus ``n_active`` (its
+        incremental batch count)."""
+        if self._admission_blocked:
+            return
+        base = len(running) if n_active is None else n_active
         cache_on = self.config.enable_prefix_cache
+        cache = self.cache
         wave: List[Tuple[int, int]] = []  # (new_tokens, cached_prefix) per admission
         wave_members: List[_Running] = []
-        while self._waiting and len(running) < self.config.max_batch_size:
+        while self._waiting and base + len(wave_members) < self.config.max_batch_size:
             req = self._waiting[0]
-            hit = self.cache.match(req.prompt_tokens) if cache_on else 0
-            new_prompt = req.prompt_len - hit
+            prompt_len = req.prompt_len
+            hit = (
+                cache.match(req.prompt_tokens, req.prompt_bytes)
+                if cache_on
+                else 0
+            )
+            new_prompt = prompt_len - hit
             # Shared tokens enter the radix tree; decode KV (and, without a
             # cache, the whole prompt) is reserved privately up front.
             shared_growth = new_prompt if cache_on else 0
-            private_growth = req.output_tokens + (0 if cache_on else req.prompt_len)
+            private_growth = req.output_tokens + (0 if cache_on else prompt_len)
             need = shared_growth + private_growth
             free = self.capacity_tokens - self._used_tokens()
             if need > free and cache_on:
-                protected = [r.request.prompt_tokens for r in running]
-                protected.append(req.prompt_tokens[:hit])
-                free += self.cache.evict(need - free, protected=protected)
+                if self._use_pins:
+                    # Running requests' paths are pinned persistently; only
+                    # this request's matched prefix needs transient cover.
+                    protected: List[Sequence[int]] = [req.prompt_tokens[:hit]]
+                else:
+                    protected = [r.request.prompt_tokens for r in running]
+                    protected.append(req.prompt_tokens[:hit])
+                free += cache.evict(need - free, protected=protected)
             if need > free:
-                if not running and not wave_members:
+                if base == 0 and not wave_members:
                     raise CapacityError(
                         f"request {req.request_id} needs {need} KV tokens; "
                         f"capacity is {self.capacity_tokens}"
                     )
+                self._admission_blocked = True
                 break  # wait for completions to free memory
             self._waiting.popleft()
 
+            pin = None
             if cache_on:
-                self.cache.insert(req.prompt_tokens)
+                cache.insert(req.prompt_tokens, req.prompt_bytes)
+                if self._use_pins:
+                    pin = cache.pin(req.prompt_tokens)
             self._private_tokens += private_growth
 
             metrics = RequestMetrics(
                 request_id=req.request_id,
-                prompt_tokens=req.prompt_len,
+                prompt_tokens=prompt_len,
                 cached_tokens=hit,
                 prefill_tokens=new_prompt,
             )
@@ -218,6 +384,7 @@ class SimulatedLLMEngine:
                 request=req,
                 metrics=metrics,
                 reserved_tokens=private_growth,
+                pin=pin,
             )
             wave.append((new_prompt, hit))
             wave_members.append(member)
@@ -236,6 +403,10 @@ class SimulatedLLMEngine:
         self._private_tokens -= r.reserved_tokens
         if self._private_tokens < 0:
             raise ServingError("private KV accounting went negative")
+        if r.pin is not None:
+            self.cache.unpin(r.pin)
+            r.pin = None
         r.metrics.output_tokens = r.decoded
         r.metrics.finished_at_s = self._clock
         done.append(r.metrics)
+        self._admission_blocked = False

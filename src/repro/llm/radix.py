@@ -7,9 +7,31 @@ skipping its prefill. Mirrors the structure SGLang/vLLM use:
 * compressed edges (token spans), split on partial match;
 * LRU eviction at leaf granularity, so interior (widely shared) prefixes
   outlive their rarely-used extensions;
-* protected paths — the engine passes the prompts of *running* requests to
-  :meth:`evict`, and any node on those paths is skipped (vLLM pins blocks
-  referenced by scheduled sequences the same way).
+* pinned paths — the engine :meth:`pin`\\ s a running request's prompt path
+  at admission and :meth:`unpin`\\ s it at completion; pinned nodes carry a
+  refcount (``lock_ref``) up to the root and are never evicted, exactly like
+  vLLM's block refcounts / SGLang's ``lock_ref``.
+
+Two eviction engines share the tree:
+
+``eviction="heap"`` (default)
+    Amortized O(log n) eviction: evictable leaves live in a lazy min-heap
+    keyed by LRU timestamp. Stale entries (re-touched, pinned, no longer a
+    leaf, already evicted) are skipped at pop time. Edge comparison in
+    ``match``/``insert`` runs over a packed byte view of the probe
+    (``bytes.startswith`` with an offset), so no per-edge tuple slices are
+    allocated on the hot path.
+
+``eviction="scan"``
+    The original reference implementation: a full-tree scan per evicted
+    leaf and tuple-slice edge compares. Kept as the equivalence oracle —
+    ``REPRO_SERVING_FASTPATH=0`` selects it (and the stepwise engine loop)
+    everywhere.
+
+Both engines make identical eviction decisions: LRU timestamps are unique
+per node (a tick touches one root path, which contains at most one leaf),
+so "pop the min-stamp evictable leaf" and "scan for the min-stamp evictable
+leaf" pick the same victim.
 
 Token counts are the currency: the engine charges the tree's
 ``total_tokens`` against KV memory and asks it to ``evict`` under pressure.
@@ -18,73 +40,173 @@ Token counts are the currency: the engine charges the tree's
 from __future__ import annotations
 
 import itertools
+import os
+from array import array
+from heapq import heappush, heappop
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ServingError
 
+#: Packed token width used for offset-based edge comparison ("q" = int64,
+#: wide enough for any realistic vocabulary id).
+_PACK_CODE = "q"
+_PACK_BYTES = 8
+#: Edges shorter than this are compared with a plain tuple slice — the
+#: allocation is tiny and beats any packed-probe bookkeeping. Long edges
+#: (shared headers, whole-prompt leaves) use ``bytes.startswith`` at an
+#: offset when the caller supplies a packed probe: zero allocation, one C
+#: call. Packing a probe costs O(len) Python-int marshalling, so the cache
+#: never packs probes itself — callers that replay the same token
+#: sequences repeatedly (the client packs once per distinct prompt, see
+#: ``SimulatedLLMClient``) pass ``packed=`` and amortize it to nothing.
+_BYTES_MIN_EDGE = 16
+
+
+def serving_fastpath_enabled() -> bool:
+    """Whether the serving-layer fast paths (event-driven engine replay,
+    heap-based radix eviction) are enabled. ``REPRO_SERVING_FASTPATH=0``
+    forces the stepwise/scan reference oracle, mirroring
+    ``REPRO_CORE_FASTPATH`` for the solver layer."""
+    flag = os.environ.get("REPRO_SERVING_FASTPATH", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
 
 class _Node:
-    __slots__ = ("edge", "children", "parent", "last_access", "node_id")
+    __slots__ = (
+        "edge",
+        "edge_bytes",
+        "children",
+        "parent",
+        "last_access",
+        "node_id",
+        "lock_ref",
+        "pin_count",
+        "dead",
+        "heap_entries",
+    )
 
     _ids = itertools.count()
 
     def __init__(self, edge: Tuple[int, ...], parent: Optional["_Node"]):
         self.edge = edge
+        self.edge_bytes: Optional[bytes] = None
         self.children: Dict[int, "_Node"] = {}
         self.parent = parent
         self.last_access = 0
         self.node_id = next(_Node._ids)
+        #: Number of active pins in this node's subtree (self included).
+        self.lock_ref = 0
+        #: Number of active pins whose path ends exactly at this node.
+        self.pin_count = 0
+        self.dead = False
+        #: Live eviction-heap entries referencing this node (heap mode).
+        self.heap_entries = 0
 
 
-def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
-    # Compare in place: callers pre-check full edge equality with one
-    # C-level tuple compare, so by the time we get here the sequences
-    # diverge somewhere — an eager whole-prefix tuple comparison would
-    # allocate two copies just to discover that mismatch.
-    n = min(len(a), len(b))
+def _common_prefix_len(edge: Sequence[int], tokens: Sequence[int], pos: int) -> int:
+    """Length of the common prefix of ``edge`` and ``tokens[pos:]``,
+    compared in place — no tail slice is allocated. Callers pre-check full
+    edge equality with one C-level compare, so by the time we get here the
+    sequences diverge somewhere."""
+    n = min(len(edge), len(tokens) - pos)
     for i in range(n):
-        if a[i] != b[i]:
+        if edge[i] != tokens[pos + i]:
             return i
     return n
 
 
-class RadixPrefixCache:
-    """Prefix cache with LRU eviction and protected (pinned) paths."""
+def pack_tokens(tokens: Sequence[int]) -> Optional[bytes]:
+    """Pack token ids into a fixed-width byte string suitable for the
+    ``packed=`` argument of :meth:`RadixPrefixCache.match`/``insert``, or
+    None if any id does not fit (falls back to tuple compares)."""
+    try:
+        return array(_PACK_CODE, tokens).tobytes()
+    except (OverflowError, TypeError, ValueError):
+        return None
 
-    def __init__(self):
+
+class RadixPrefixCache:
+    """Prefix cache with LRU eviction and pinned (refcounted) paths."""
+
+    def __init__(self, *, eviction: str = "auto"):
+        if eviction == "auto":
+            eviction = "heap" if serving_fastpath_enabled() else "scan"
+        if eviction not in ("heap", "scan"):
+            raise ValueError(f"unknown eviction mode {eviction!r}")
+        self.eviction = eviction
         self.root = _Node(edge=(), parent=None)
         self.total_tokens = 0
         self._clock = 0
         self.hits = 0
         self.misses = 0
         self.evicted_tokens = 0
+        #: Lazy min-heap of (last_access, node_id, node) eviction candidates
+        #: (heap mode only). Entries are pushed when a node *becomes* an
+        #: evictable leaf (creation, unpin, child evicted) — NOT on every
+        #: LRU touch, which keeps match/insert walks heap-free. A touched
+        #: node's entry goes stale-low; evict() re-pushes it at its current
+        #: stamp when popped (lazy increase-key), so pops still come out in
+        #: true LRU order.
+        self._heap: Optional[List[Tuple[int, int, _Node]]] = (
+            [] if eviction == "heap" else None
+        )
+        self._fast = self._heap is not None
+        # One-slot identity memo: the engine probes the same prompt tuple
+        # with insert -> pin, so pin() reuses insert()'s end node instead
+        # of re-walking the path. (Safe: the token string spelled
+        # root->node never changes — splits preserve it and only leaves
+        # are evicted — so a live end node stays the deepest full match
+        # for its tokens.)
+        self._last_end: Optional[Tuple[Tuple[int, ...], _Node]] = None
 
+    # ------------------------------------------------------------- helpers
     def _tick(self) -> int:
         self._clock += 1
         return self._clock
 
-    def match(self, tokens: Sequence[int]) -> int:
+    def _push_candidate(self, node: _Node) -> None:
+        """Register a node that just became an evictable leaf. A node with
+        a live entry needs no second one — stale-stamp entries are re-keyed
+        at pop time, so one entry always suffices (and repeated pin/unpin
+        cycles cannot grow the heap)."""
+        if node.heap_entries == 0:
+            node.heap_entries = 1
+            heappush(self._heap, (node.last_access, node.node_id, node))
+
+    # --------------------------------------------------------------- match
+    def match(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
         """Length of the longest cached prefix of ``tokens``.
 
-        Refreshes LRU timestamps along the matched path.
+        Refreshes LRU timestamps along the matched path. ``packed`` is an
+        optional pre-packed probe (``array("q", tokens).tobytes()``) that
+        turns long-edge compares into allocation-free ``bytes.startswith``
+        calls.
         """
         now = self._tick()
         node = self.root
         node.last_access = now
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
         pos = 0
-        tokens = tuple(tokens)
-        while pos < len(tokens):
+        n = len(tokens)
+        tb = packed
+        while pos < n:
             child = node.children.get(tokens[pos])
             if child is None:
                 break
             edge = child.edge
             k = len(edge)
-            if tokens[pos : pos + k] == edge:
+            eb = child.edge_bytes
+            if eb is not None and tb is not None:
+                full = tb.startswith(eb, pos * _PACK_BYTES)
+            else:
+                full = tokens[pos : pos + k] == edge
+            if full:
                 child.last_access = now
                 pos += k
                 node = child
                 continue
-            k = _common_prefix_len(edge, tokens[pos:])
+            k = _common_prefix_len(edge, tokens, pos)
             if k == 0:
                 break
             child.last_access = now
@@ -96,47 +218,150 @@ class RadixPrefixCache:
             self.misses += 1
         return pos
 
-    def insert(self, tokens: Sequence[int]) -> int:
-        """Cache ``tokens``; returns the number of *newly* cached tokens."""
+    # -------------------------------------------------------------- insert
+    def insert(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
+        """Cache ``tokens``; returns the number of *newly* cached tokens.
+
+        ``packed`` as in :meth:`match`; new long edges inherit their packed
+        form from it (a byte-slice, no re-marshalling).
+        """
         now = self._tick()
         node = self.root
         node.last_access = now
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
         pos = 0
-        tokens = tuple(tokens)
-        while pos < len(tokens):
+        n = len(tokens)
+        fast = self._fast
+        tb = packed
+        while pos < n:
             child = node.children.get(tokens[pos])
             if child is None:
                 leaf = _Node(edge=tokens[pos:], parent=node)
+                if fast and tb is not None and n - pos >= _BYTES_MIN_EDGE:
+                    leaf.edge_bytes = tb[pos * _PACK_BYTES :]
                 leaf.last_access = now
                 node.children[tokens[pos]] = leaf
+                if fast:
+                    self._push_candidate(leaf)
                 added = len(leaf.edge)
                 self.total_tokens += added
+                self._last_end = (tokens, leaf)
                 return added
             edge = child.edge
             k = len(edge)
-            if tokens[pos : pos + k] == edge:
+            eb = child.edge_bytes
+            if eb is not None and tb is not None:
+                full = tb.startswith(eb, pos * _PACK_BYTES)
+            else:
+                full = tokens[pos : pos + k] == edge
+            if full:
                 child.last_access = now
                 pos += k
                 node = child
                 continue
-            k = _common_prefix_len(edge, tokens[pos:])
-            child.last_access = now
-            # Split the edge at k; the existing tail keeps its subtree.
+            k = _common_prefix_len(edge, tokens, pos)
+            # Split the edge at k; the existing tail keeps its subtree (and
+            # its lock refs: every pin through the tail also pins the head).
             head, tail = edge[:k], edge[k:]
             mid = _Node(edge=head, parent=node)
             mid.last_access = now
+            mid.lock_ref = child.lock_ref
+            if eb is not None:
+                if len(head) >= _BYTES_MIN_EDGE:
+                    mid.edge_bytes = eb[: k * _PACK_BYTES]
+                if len(tail) >= _BYTES_MIN_EDGE:
+                    child.edge_bytes = eb[k * _PACK_BYTES :]
+                else:
+                    child.edge_bytes = None
             node.children[tokens[pos]] = mid
             child.edge = tail
             child.parent = mid
             mid.children[tail[0]] = child
+            child.last_access = now
             node = mid
             pos += k
+        if node is not self.root:
+            self._last_end = (tokens, node)
         return 0
 
+    # ------------------------------------------------------------- pinning
+    def _path_end(self, tokens: Tuple[int, ...]) -> Optional[_Node]:
+        """Deepest node on the cached path of ``tokens`` (tolerant walk,
+        like :meth:`path_node_ids`: a partially-matched child counts)."""
+        node = self.root
+        pos = 0
+        last: Optional[_Node] = None
+        n = len(tokens)
+        while pos < n:
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            edge = child.edge
+            if tokens[pos : pos + len(edge)] == edge:
+                k = len(edge)
+            else:
+                k = _common_prefix_len(edge, tokens, pos)
+            if k == 0:
+                break
+            last = child
+            pos += k
+            if k < len(edge):
+                break
+            node = child
+        return last
+
+    def pin(self, tokens: Sequence[int]) -> Optional[_Node]:
+        """Pin the cached path of ``tokens`` against eviction.
+
+        Returns a ticket (pass to :meth:`unpin`), or None if nothing is
+        cached. Does not refresh LRU stamps — pinning is bookkeeping, not a
+        use. Pins survive later edge splits: the split head inherits the
+        tail's refcount.
+        """
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        memo = self._last_end
+        if memo is not None and memo[0] is tokens and not memo[1].dead:
+            end: Optional[_Node] = memo[1]
+        else:
+            end = self._path_end(tokens)
+        if end is None:
+            return None
+        end.pin_count += 1
+        cur: Optional[_Node] = end
+        while cur is not None and cur is not self.root:
+            cur.lock_ref += 1
+            cur = cur.parent
+        return end
+
+    def unpin(self, ticket: Optional[_Node]) -> None:
+        """Release a pin acquired with :meth:`pin` (None tickets are a
+        no-op, matching pin's miss behavior)."""
+        if ticket is None:
+            return
+        if ticket.pin_count <= 0:
+            raise ServingError("unpin without a matching pin")
+        ticket.pin_count -= 1
+        cur: Optional[_Node] = ticket
+        while cur is not None and cur is not self.root:
+            cur.lock_ref -= 1
+            if cur.lock_ref < 0:
+                raise ServingError("lock refcount went negative")
+            if (
+                self._fast
+                and cur.lock_ref == 0
+                and not cur.children
+                and not cur.dead
+            ):
+                self._push_candidate(cur)
+            cur = cur.parent
+
+    # ------------------------------------------------------ legacy walkers
     def path_node_ids(self, tokens: Sequence[int]) -> Set[int]:
         """Ids of nodes along the cached path of ``tokens`` (tolerant walk:
-        stops wherever the cache diverges). Used to protect running
-        requests' prompts from eviction."""
+        stops wherever the cache diverges). Used by the scan oracle to
+        protect running requests' prompts from eviction."""
         ids: Set[int] = set()
         node = self.root
         pos = 0
@@ -149,7 +374,7 @@ class RadixPrefixCache:
             if tokens[pos : pos + len(edge)] == edge:
                 k = len(edge)
             else:
-                k = _common_prefix_len(edge, tokens[pos:])
+                k = _common_prefix_len(edge, tokens, pos)
             if k == 0:
                 break
             ids.add(child.node_id)
@@ -159,14 +384,67 @@ class RadixPrefixCache:
             node = child
         return ids
 
+    # ------------------------------------------------------------ eviction
     def evict(
         self, n_tokens: int, protected: Iterable[Sequence[int]] = ()
     ) -> int:
         """Evict LRU leaves until >= ``n_tokens`` freed or nothing remains.
 
-        ``protected`` are token sequences (running prompts) whose paths must
-        survive. Returns tokens actually freed.
+        ``protected`` are token sequences whose cached paths must survive
+        this call (the engine passes the not-yet-admitted request's matched
+        prefix; running requests are pinned persistently). Paths pinned via
+        :meth:`pin` always survive. Returns tokens actually freed.
         """
+        if not self._fast:
+            return self._evict_scan(n_tokens, protected)
+        tickets = [self.pin(seq) for seq in protected]
+        try:
+            freed = 0
+            heap = self._heap
+            while freed < n_tokens:
+                victim: Optional[_Node] = None
+                while heap:
+                    stamp, nid, node = heappop(heap)
+                    node.heap_entries -= 1
+                    if node.dead or node.children or node.lock_ref:
+                        continue  # no longer a candidate (re-pushed if it
+                        # becomes one again: unpin / child eviction)
+                    if node.last_access != stamp:
+                        # Touched since it was pushed: lazy increase-key.
+                        self._push_candidate(node)
+                        continue
+                    victim = node
+                    break
+                if victim is None:
+                    break
+                freed += self._remove_leaf(victim)
+            return freed
+        finally:
+            for ticket in tickets:
+                self.unpin(ticket)
+
+    def _remove_leaf(self, victim: _Node) -> int:
+        k = len(victim.edge)
+        self.total_tokens -= k
+        self.evicted_tokens += k
+        victim.dead = True
+        parent = victim.parent
+        assert parent is not None
+        del parent.children[victim.edge[0]]
+        victim.parent = None
+        if (
+            self._fast
+            and parent is not self.root
+            and not parent.children
+            and parent.lock_ref == 0
+        ):
+            self._push_candidate(parent)
+        return k
+
+    def _evict_scan(
+        self, n_tokens: int, protected: Iterable[Sequence[int]]
+    ) -> int:
+        """Reference eviction: full-tree LRU scan per victim."""
         protected_ids: Set[int] = set()
         for seq in protected:
             protected_ids |= self.path_node_ids(seq)
@@ -175,12 +453,7 @@ class RadixPrefixCache:
             victim = self._lru_leaf(protected_ids)
             if victim is None:
                 break
-            freed += len(victim.edge)
-            self.total_tokens -= len(victim.edge)
-            self.evicted_tokens += len(victim.edge)
-            parent = victim.parent
-            assert parent is not None
-            del parent.children[victim.edge[0]]
+            freed += self._remove_leaf(victim)
         return freed
 
     def _lru_leaf(self, protected_ids: Set[int]) -> Optional[_Node]:
@@ -191,32 +464,90 @@ class RadixPrefixCache:
             if (
                 node is not self.root
                 and not node.children
+                and node.lock_ref == 0
                 and node.node_id not in protected_ids
             ):
-                if best is None or node.last_access < best.last_access:
+                # Ties happen when one insert both splits an edge and adds
+                # a divergent leaf (one tick stamps both); break them by
+                # node id — the order the lazy heap uses — instead of
+                # traversal order.
+                if best is None or (node.last_access, node.node_id) < (
+                    best.last_access,
+                    best.node_id,
+                ):
                     best = node
             stack.extend(node.children.values())
         return best
 
+    # ---------------------------------------------------------- invariants
     def check_invariants(self) -> None:
-        """Debug/testing: verify token accounting and tree structure."""
+        """Debug/testing: verify token accounting, tree structure, pin
+        refcounts, and (heap mode) eviction-heap coverage."""
         count = 0
         stack = [self.root]
+        nodes: List[_Node] = []
         while stack:
             node = stack.pop()
+            nodes.append(node)
             if node is not self.root:
                 if not node.edge:
                     raise ServingError("non-root node with empty edge")
                 if node.parent is None:
                     raise ServingError("non-root node without parent")
+                if node.dead:
+                    raise ServingError("evicted node still reachable")
+                if node.edge_bytes is not None and node.edge_bytes != pack_tokens(node.edge):
+                    raise ServingError("packed edge out of sync with edge tokens")
                 count += len(node.edge)
+            if node.pin_count < 0 or node.lock_ref < 0:
+                raise ServingError("negative pin refcount")
+            child_locks = 0
             for first, child in node.children.items():
                 if child.edge[0] != first:
                     raise ServingError("child keyed by wrong first token")
                 if child.parent is not node:
                     raise ServingError("parent pointer corrupted")
+                child_locks += child.lock_ref
                 stack.append(child)
+            if node is not self.root and node.lock_ref != node.pin_count + child_locks:
+                raise ServingError(
+                    f"lock refcount drift at node {node.node_id}: "
+                    f"lock_ref={node.lock_ref}, pins={node.pin_count}, "
+                    f"children={child_locks}"
+                )
         if count != self.total_tokens:
             raise ServingError(
                 f"token accounting drift: counted {count}, recorded {self.total_tokens}"
             )
+        if self._fast:
+            entry_tally: Dict[int, int] = {}
+            for stamp, nid, node in self._heap:
+                if nid != node.node_id:
+                    raise ServingError("heap entry id out of sync with node")
+                if stamp > node.last_access:
+                    raise ServingError(
+                        "heap entry stamp ahead of node LRU stamp"
+                    )
+                entry_tally[nid] = entry_tally.get(nid, 0) + 1
+            for node in nodes:
+                tally = entry_tally.get(node.node_id, 0)
+                if tally != node.heap_entries:
+                    raise ServingError(
+                        f"heap entry counter drift at node {node.node_id}: "
+                        f"counted {tally}, recorded {node.heap_entries}"
+                    )
+                if tally > 1:
+                    raise ServingError(
+                        f"duplicate heap entries for node {node.node_id}"
+                    )
+                if (
+                    node is self.root
+                    or node.children
+                    or node.lock_ref
+                    or node.dead
+                ):
+                    continue
+                if tally == 0:
+                    raise ServingError(
+                        f"evictable leaf {node.node_id} missing from eviction heap"
+                    )

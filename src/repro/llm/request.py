@@ -13,14 +13,24 @@ class Request:
     ``prompt_tokens`` is the tokenized prompt; ``output_tokens`` the number
     of tokens the simulated model will decode (the benchmark queries derive
     it from the dataset's answer text / Table 1 output lengths).
+    ``prompt_bytes`` is an optional packed form of the prompt
+    (``array("q", prompt_tokens).tobytes()``) that the radix cache uses for
+    allocation-free long-edge compares; the client computes it once per
+    distinct prompt alongside its memoized tokenization.
     """
 
     request_id: int
     prompt_tokens: Tuple[int, ...]
     output_tokens: int
     output_text: str = ""
+    prompt_bytes: Optional[bytes] = None
 
     def __post_init__(self):
+        if not isinstance(self.prompt_tokens, tuple):
+            # Normalize so the radix cache sees one immutable object across
+            # its match/insert/pin probes (its packed-probe memo keys on
+            # object identity).
+            self.prompt_tokens = tuple(self.prompt_tokens)
         if self.output_tokens < 0:
             raise ValueError("output_tokens must be >= 0")
 

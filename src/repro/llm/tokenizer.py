@@ -68,11 +68,22 @@ class HashTokenizer:
         return [self._intern(p) for p in self._pieces(text)]
 
     def decode(self, tokens: Sequence[int]) -> str:
-        """Exact inverse of :meth:`encode` for ids produced by this instance."""
-        try:
-            return "".join(self._id_to_piece[t] for t in tokens)
-        except IndexError:
-            raise ValueError("token id not produced by this tokenizer") from None
+        """Exact inverse of :meth:`encode` for ids produced by this instance.
+
+        Rejects out-of-range ids explicitly — including negative ones, which
+        Python's index-from-the-end semantics would otherwise silently map
+        to the last vocabulary pieces.
+        """
+        pieces = self._id_to_piece
+        n = len(pieces)
+        out = []
+        for t in tokens:
+            if not 0 <= t < n:
+                raise ValueError(
+                    f"token id {t!r} not produced by this tokenizer"
+                )
+            out.append(pieces[t])
+        return "".join(out)
 
     def count(self, text: str) -> int:
         """Token count without interning (cheap for statistics)."""

@@ -1,10 +1,14 @@
-"""Tests for the radix prefix cache, including hypothesis invariants."""
+"""Tests for the radix prefix cache, including hypothesis invariants,
+pin/unpin refcounting, and heap-vs-scan eviction equivalence."""
+
+import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.llm.radix import RadixPrefixCache
+from repro.errors import ServingError
+from repro.llm.radix import RadixPrefixCache, pack_tokens
 
 
 class TestMatchInsert:
@@ -109,28 +113,160 @@ class TestPathNodes:
         assert c.path_node_ids([42]) == set()
 
 
+class TestPinning:
+    def test_pin_protects_path(self):
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2, 3])
+        c.insert([9, 8, 7])
+        ticket = c.pin([1, 2, 3])
+        freed = c.evict(100)
+        assert freed == 3
+        assert c.match([1, 2, 3]) == 3
+        c.check_invariants()
+        c.unpin(ticket)
+        c.check_invariants()
+        assert c.evict(100) == 3
+
+    def test_pin_miss_returns_none(self):
+        c = RadixPrefixCache(eviction="heap")
+        assert c.pin([1, 2]) is None
+        c.unpin(None)  # no-op
+
+    def test_unpin_without_pin_raises(self):
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2])
+        ticket = c.pin([1, 2])
+        c.unpin(ticket)
+        with pytest.raises(ServingError):
+            c.unpin(ticket)
+
+    def test_split_inherits_lock_refs(self):
+        """A pinned path stays pinned after a later insert splits one of
+        its edges — the split head inherits the tail's refcount."""
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2, 3, 4, 5])
+        ticket = c.pin([1, 2, 3, 4, 5])
+        c.insert([1, 2, 9])  # splits [1..5] into [1,2] + [3,4,5]
+        c.check_invariants()
+        c.evict(100)
+        assert c.match([1, 2, 3, 4, 5]) == 5  # pinned path survived
+        assert c.match([1, 2, 9]) == 2  # divergent leaf was evictable
+        c.unpin(ticket)
+        c.check_invariants()
+        assert c.evict(100) == 5
+
+    def test_pin_partial_edge_protects_whole_node(self):
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2, 3, 4])
+        ticket = c.pin([1, 2])  # ends mid-edge: pins the [1,2,3,4] node
+        assert c.evict(100) == 0
+        c.unpin(ticket)
+        assert c.evict(100) == 4
+        c.check_invariants()
+
+    def test_nested_pins(self):
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2, 3])
+        t1 = c.pin([1, 2, 3])
+        t2 = c.pin([1, 2, 3])
+        c.unpin(t1)
+        assert c.evict(100) == 0  # still pinned by t2
+        c.unpin(t2)
+        assert c.evict(100) == 3
+        c.check_invariants()
+
+    def test_pin_unpin_cycles_do_not_grow_heap(self):
+        """Regression: unpin used to push a fresh heap entry per cycle,
+        leaking memory in a long-lived engine that never evicts."""
+        c = RadixPrefixCache(eviction="heap")
+        c.insert([1, 2, 3])
+        for _ in range(1000):
+            c.unpin(c.pin([1, 2, 3]))
+            c.match([1, 2, 3])
+        assert len(c._heap) <= 2
+        c.check_invariants()
+
+    def test_pins_respected_in_scan_mode_too(self):
+        c = RadixPrefixCache(eviction="scan")
+        c.insert([1, 2, 3])
+        c.insert([9, 8])
+        ticket = c.pin([1, 2, 3])
+        assert c.evict(100) == 2
+        assert c.match([1, 2, 3]) == 3
+        c.unpin(ticket)
+        c.check_invariants()
+
+
+class TestHeapScanEquivalence:
+    """Both eviction engines must make identical decisions on identical
+    operation sequences — the scan implementation is the oracle."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_op_sequence(self, seed):
+        rng = random.Random(seed)
+        heap_c = RadixPrefixCache(eviction="heap")
+        scan_c = RadixPrefixCache(eviction="scan")
+        pool = [
+            [rng.randrange(6) for _ in range(rng.randrange(1, 10))]
+            for _ in range(12)
+        ]
+        pins = []  # parallel (heap_ticket, scan_ticket, seq)
+        for _ in range(300):
+            op = rng.random()
+            seq = rng.choice(pool)
+            # The packed-probe argument must never change results (the
+            # scan cache ignores it entirely; the heap cache uses it for
+            # long-edge compares).
+            packed = pack_tokens(seq) if rng.random() < 0.5 else None
+            if op < 0.35:
+                assert heap_c.insert(seq, packed) == scan_c.insert(seq, packed)
+            elif op < 0.6:
+                assert heap_c.match(seq, packed) == scan_c.match(seq, packed)
+            elif op < 0.75 and len(pins) < 4:
+                th, ts = heap_c.pin(seq), scan_c.pin(seq)
+                assert (th is None) == (ts is None)
+                pins.append((th, ts))
+            elif op < 0.85 and pins:
+                th, ts = pins.pop(rng.randrange(len(pins)))
+                heap_c.unpin(th)
+                scan_c.unpin(ts)
+            else:
+                n = rng.randrange(1, 12)
+                protected = [rng.choice(pool)] if rng.random() < 0.5 else []
+                assert heap_c.evict(n, protected=protected) == scan_c.evict(
+                    n, protected=protected
+                )
+            assert heap_c.total_tokens == scan_c.total_tokens
+            heap_c.check_invariants()
+            scan_c.check_invariants()
+        assert heap_c.hits == scan_c.hits
+        assert heap_c.misses == scan_c.misses
+        assert heap_c.evicted_tokens == scan_c.evicted_tokens
+
+
 @st.composite
 def token_seqs(draw):
     n = draw(st.integers(min_value=1, max_value=8))
     return [draw(st.integers(min_value=0, max_value=5)) for _ in range(n)]
 
 
+@pytest.mark.parametrize("eviction", ["heap", "scan"])
 class TestProperties:
     @settings(max_examples=60, deadline=None)
-    @given(st.lists(token_seqs(), min_size=1, max_size=12))
-    def test_insert_then_match_full(self, seqs):
-        c = RadixPrefixCache()
+    @given(seqs=st.lists(token_seqs(), min_size=1, max_size=12))
+    def test_insert_then_match_full(self, eviction, seqs):
+        c = RadixPrefixCache(eviction=eviction)
         for s in seqs:
             c.insert(s)
             assert c.match(s) == len(s)
         c.check_invariants()
 
     @settings(max_examples=60, deadline=None)
-    @given(st.lists(token_seqs(), min_size=1, max_size=12))
-    def test_total_tokens_equals_unique_prefix_mass(self, seqs):
+    @given(seqs=st.lists(token_seqs(), min_size=1, max_size=12))
+    def test_total_tokens_equals_unique_prefix_mass(self, eviction, seqs):
         """total_tokens == number of distinct prefixes (trie nodes at token
         granularity), independent of insertion order."""
-        c = RadixPrefixCache()
+        c = RadixPrefixCache(eviction=eviction)
         for s in seqs:
             c.insert(s)
         prefixes = {tuple(s[:k]) for s in seqs for k in range(1, len(s) + 1)}
@@ -138,10 +274,10 @@ class TestProperties:
         c.check_invariants()
 
     @settings(max_examples=40, deadline=None)
-    @given(st.lists(token_seqs(), min_size=2, max_size=10),
-           st.integers(min_value=1, max_value=20))
-    def test_eviction_preserves_invariants(self, seqs, n_evict):
-        c = RadixPrefixCache()
+    @given(seqs=st.lists(token_seqs(), min_size=2, max_size=10),
+           n_evict=st.integers(min_value=1, max_value=20))
+    def test_eviction_preserves_invariants(self, eviction, seqs, n_evict):
+        c = RadixPrefixCache(eviction=eviction)
         for s in seqs:
             c.insert(s)
         before = c.total_tokens
@@ -150,10 +286,26 @@ class TestProperties:
         c.check_invariants()
 
     @settings(max_examples=40, deadline=None)
-    @given(st.lists(token_seqs(), min_size=1, max_size=10))
-    def test_match_never_exceeds_probe(self, seqs):
-        c = RadixPrefixCache()
+    @given(seqs=st.lists(token_seqs(), min_size=1, max_size=10))
+    def test_match_never_exceeds_probe(self, eviction, seqs):
+        c = RadixPrefixCache(eviction=eviction)
         for s in seqs:
             c.insert(s)
         for s in seqs:
             assert 0 <= c.match(s[:3]) <= 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(seqs=st.lists(token_seqs(), min_size=1, max_size=10),
+           n_evict=st.integers(min_value=1, max_value=20))
+    def test_pinned_inserts_survive_eviction(self, eviction, seqs, n_evict):
+        c = RadixPrefixCache(eviction=eviction)
+        tickets = []
+        for s in seqs:
+            c.insert(s)
+            tickets.append(c.pin(s))
+        c.evict(n_evict)
+        for s in seqs:
+            assert c.match(s) == len(s)
+        for t in tickets:
+            c.unpin(t)
+        c.check_invariants()

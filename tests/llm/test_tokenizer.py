@@ -53,6 +53,19 @@ class TestBasics:
         with pytest.raises(ValueError):
             tok.decode([999])
 
+    def test_negative_id_decode_rejected(self):
+        """Regression: Python's index-from-the-end semantics made
+        decode([-1]) silently return the last vocab piece."""
+        tok = HashTokenizer()
+        tok.encode("some words to fill the vocabulary")
+        with pytest.raises(ValueError):
+            tok.decode([-1])
+        with pytest.raises(ValueError):
+            tok.decode([0, -3])
+        # The boundary id just past the vocabulary is rejected too.
+        with pytest.raises(ValueError):
+            tok.decode([tok.vocab_size])
+
 
 class TestPrefixStability:
     def test_shared_prefix_shares_tokens(self):
