@@ -95,6 +95,66 @@ def bench_engine_replay_no_cache(benchmark):
     _record(benchmark, res)
 
 
+def bench_engine_replay_paged_blocks(benchmark):
+    """The same replay under explicit paged-KV admission (block_tokens=16):
+    quantifies the block-accounting overhead vs the token-sum oracle twin
+    below, and records the fragmentation the oracle cannot see."""
+    requests = _replay_requests()
+    res = run_once(
+        benchmark,
+        lambda: _replay(
+            "event", requests, kv_accounting="paged", block_tokens=16
+        ),
+    )
+    assert res.kv_accounting == "paged" and res.peak_kv_blocks > 0
+    benchmark.extra_info["peak_kv_blocks"] = res.peak_kv_blocks
+    benchmark.extra_info["fragmentation_tokens"] = res.fragmentation_tokens
+    benchmark.extra_info["fragmentation"] = round(res.fragmentation, 4)
+    _record(benchmark, res)
+
+
+def bench_engine_replay_token_oracle_accounting(benchmark):
+    """Token-sum admission oracle (`kv_accounting="tokens"`) on the same
+    workload — the baseline for bench_engine_replay_paged_blocks."""
+    requests = _replay_requests()
+    res = run_once(
+        benchmark, lambda: _replay("event", requests, kv_accounting="tokens")
+    )
+    assert res.kv_accounting == "tokens" and res.peak_kv_blocks == 0
+    _record(benchmark, res)
+
+
+def bench_engine_paged_eviction_pressure(benchmark):
+    """Eviction under paged admission: block-denominated eviction keeps
+    freeing victims until physical blocks (not just tokens) are available,
+    exercising fork/release churn and straddle-shared split blocks."""
+    requests = _replay_requests(
+        n_requests=800, n_groups=40, suffix_len=60, out_lo=8, out_hi=24
+    )
+
+    def work():
+        eng = SimulatedLLMEngine(
+            LLAMA3_8B,
+            CLUSTER_1XL4,
+            EngineConfig(
+                mode="event",
+                kv_accounting="paged",
+                block_tokens=16,
+                kv_capacity_tokens=4000,
+                max_batch_size=8,
+            ),
+        )
+        eng.submit_all(requests)
+        return eng.run(), eng.cache.evicted_tokens
+
+    res, evicted = run_once(benchmark, work)
+    assert res.decode_tokens > 0 and evicted > 0
+    benchmark.extra_info["evicted_tokens"] = evicted
+    benchmark.extra_info["peak_kv_blocks"] = res.peak_kv_blocks
+    benchmark.extra_info["fragmentation"] = round(res.fragmentation, 4)
+    _record(benchmark, res)
+
+
 def bench_engine_eviction_pressure(benchmark):
     """Replay under a KV capacity that forces continuous eviction (the
     amortized-eviction hot path: pin/unpin churn plus heap pops)."""

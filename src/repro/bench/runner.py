@@ -85,11 +85,25 @@ class RunResult:
     n_llm_calls: int
     peak_kv_tokens: int = 0
     max_batch_seen: int = 0
+    #: Paged-KV admission metrics (zero under the token-sum oracle): block
+    #: size, the largest per-stage peak of physical blocks charged, and the
+    #: internal fragmentation at that peak.
+    kv_accounting: str = "tokens"
+    block_tokens: int = 0
+    peak_kv_blocks: int = 0
+    fragmentation_tokens: int = 0
 
     @property
     def end_to_end_seconds(self) -> float:
         """Engine time plus solver overhead (the paper's JCT metric)."""
         return self.engine_seconds + self.solver_seconds
+
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of peak block memory lost to internal fragmentation
+        (0.0 under the token-sum oracle)."""
+        denom = self.peak_kv_blocks * self.block_tokens
+        return self.fragmentation_tokens / denom if denom else 0.0
 
 
 def scaled_kv_capacity(
@@ -98,8 +112,10 @@ def scaled_kv_capacity(
     scale: float,
     prompt_tokens_estimate: int,
     max_batch_size: int = 64,
+    block_tokens: int = 16,
 ) -> int:
-    """KV capacity for a scale-``s`` replica of a full-size workload.
+    """KV capacity (in tokens) for a scale-``s`` replica of a full-size
+    workload.
 
     At full scale the paper's cache holds only a small fraction of the
     streamed prompt tokens (e.g. ~110k tokens vs ~5.4M for Movies), so LRU
@@ -107,15 +123,33 @@ def scaled_kv_capacity(
     to the measured hit rates. A scaled-down dataset against a full-size
     cache would hide that effect entirely; this helper shrinks capacity
     proportionally, floored at what one full batch needs to make progress.
+
+    The result is always at least one ``block_tokens`` block, so paged
+    admission (which floors capacity to whole blocks) never sees a
+    zero-block pool: ``prompt_tokens_estimate=0`` at tiny scales used to
+    yield a 0-token capacity that surfaced as a deep ``ServingError`` from
+    ``BlockManager.__init__``. Nonsensical inputs raise :class:`ReproError`
+    up front instead.
     """
     from repro.llm.costmodel import CostModel
+
+    if scale <= 0:
+        raise ReproError(f"scale must be positive, got {scale}")
+    if prompt_tokens_estimate < 0:
+        raise ReproError(
+            f"prompt_tokens_estimate must be >= 0, got {prompt_tokens_estimate}"
+        )
+    if max_batch_size <= 0:
+        raise ReproError(f"max_batch_size must be positive, got {max_batch_size}")
+    if block_tokens <= 0:
+        raise ReproError(f"block_tokens must be positive, got {block_tokens}")
 
     cap_full = CostModel(model, cluster).kv_capacity_tokens
     # With prefix caching the running batch shares most prompt KV, so the
     # floor only needs a fraction of batch x prompt to keep admission going.
     batch_floor = int(max_batch_size * prompt_tokens_estimate * 0.75)
     scaled = int(cap_full * min(1.0, scale))
-    return min(cap_full, max(batch_floor, scaled))
+    return max(min(cap_full, max(batch_floor, scaled)), block_tokens)
 
 
 def run_query(
@@ -129,12 +163,16 @@ def run_query(
     seed: int = 0,
     max_batch_size: int = 64,
     kv_capacity_tokens: Optional[int] = None,
+    kv_accounting: str = "auto",
+    block_tokens: int = 16,
 ) -> RunResult:
     """Run ``query`` over ``dataset`` under ``policy``; returns metrics.
 
     A fresh engine (empty prefix cache) is created per run, matching the
     paper's per-query measurement methodology. Multi-stage (T3) queries
     share one engine across stages, like a long-lived server would.
+    ``kv_accounting``/``block_tokens`` select the engine's admission model
+    (paged block-granular by default; see :class:`repro.llm.engine.EngineConfig`).
     """
     if query.dataset != dataset.name.lower():
         raise ReproError(
@@ -147,6 +185,8 @@ def run_query(
             enable_prefix_cache=policy.cache_enabled,
             max_batch_size=max_batch_size,
             kv_capacity_tokens=kv_capacity_tokens,
+            kv_accounting=kv_accounting,
+            block_tokens=block_tokens,
         ),
     )
     runtime = LLMRuntime(
@@ -166,7 +206,9 @@ def run_query(
     runtime.execute(table, LLMExpr(query.prompt, query.fields))
 
     prompt_tokens = cached_tokens = prefill_tokens = decode_tokens = 0
-    peak = batch = 0
+    peak = batch = peak_blocks = frag = blk = 0
+    acct = "tokens"
+    sched_num = sched_den = 0.0
     for call in runtime.calls:
         er = call.engine_result
         if er is not None:
@@ -176,6 +218,19 @@ def run_query(
             decode_tokens += er.decode_tokens
             peak = max(peak, er.peak_kv_tokens)
             batch = max(batch, er.max_batch_seen)
+            if er.peak_kv_blocks > peak_blocks:
+                peak_blocks = er.peak_kv_blocks
+                frag = er.fragmentation_tokens
+            acct = er.kv_accounting
+            blk = max(blk, er.block_tokens)
+        # Weight each stage's schedule-level PHR by its prompt volume (row
+        # count when the stage issued no engine calls), so a multi-stage T3
+        # query reports a whole-query figure instead of only the last
+        # stage's — and an empty stage contributes nothing rather than an
+        # IndexError.
+        weight = er.prompt_tokens if er is not None else call.n_rows
+        sched_num += call.schedule_phr * weight
+        sched_den += weight
     return RunResult(
         query_id=query.query_id,
         dataset=dataset.name,
@@ -184,7 +239,7 @@ def run_query(
         engine_seconds=runtime.total_engine_seconds,
         solver_seconds=runtime.total_solver_seconds,
         phr=(cached_tokens / prompt_tokens) if prompt_tokens else 0.0,
-        schedule_phr=runtime.calls[-1].schedule_phr,
+        schedule_phr=(sched_num / sched_den) if sched_den else 0.0,
         exact_phc=sum(c.exact_phc for c in runtime.calls),
         prompt_tokens=prompt_tokens,
         cached_tokens=cached_tokens,
@@ -194,6 +249,10 @@ def run_query(
         n_llm_calls=len(runtime.calls),
         peak_kv_tokens=peak,
         max_batch_seen=batch,
+        kv_accounting=acct,
+        block_tokens=blk,
+        peak_kv_blocks=peak_blocks,
+        fragmentation_tokens=frag,
     )
 
 

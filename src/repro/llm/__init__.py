@@ -13,7 +13,12 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     full-tree-scan implementation stays selectable as the reference oracle
     (``REPRO_SERVING_FASTPATH=0``).
 ``blocks``
-    Paged KV block manager with ref-counted blocks (vLLM-style).
+    Paged KV block manager with ref-counted blocks (vLLM-style). The
+    engine admits on it by default: radix nodes own the blocks backing
+    their edges, matched prefixes are fork-shared, decode tails grow
+    block-by-block, and eviction returns blocks to the pool. The
+    token-sum admission heuristic stays selectable as the oracle
+    (``EngineConfig.kv_accounting="tokens"`` / ``REPRO_SERVING_PAGED=0``).
 ``hardware`` / ``models``
     GPU and model registries (L4, 8xL4; Llama-3 1B/8B/70B) with memory,
     bandwidth, FLOPs, weight bytes and KV bytes/token.
@@ -35,6 +40,11 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     The JSON prompt construction used by the paper's LLM operator (§5).
 """
 
+from repro.llm.blocks import (
+    BlockAllocation,
+    BlockManager,
+    paged_accounting_enabled,
+)
 from repro.llm.client import BatchResult, SimulatedLLMClient
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, CLUSTER_8XL4, Cluster, GPUSpec
@@ -51,6 +61,9 @@ from repro.llm.tokenizer import HashTokenizer
 
 __all__ = [
     "HashTokenizer",
+    "BlockAllocation",
+    "BlockManager",
+    "paged_accounting_enabled",
     "RadixPrefixCache",
     "pack_tokens",
     "serving_fastpath_enabled",

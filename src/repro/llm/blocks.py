@@ -6,23 +6,45 @@ forking a sequence bumps refs, releasing decrements and frees at zero. The
 engine uses the manager for admission control; the radix tree decides *what*
 is shared, the block manager enforces *how much* physical memory that costs
 (including fragmentation from partially-filled last blocks).
+
+``REPRO_SERVING_PAGED=0`` selects the token-sum admission oracle in the
+engine (see :func:`paged_accounting_enabled`), mirroring
+``REPRO_SERVING_FASTPATH`` for the replay loop.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import CapacityError, ServingError
 
 
+def paged_accounting_enabled() -> bool:
+    """Whether the engine admits on block-granular paged-KV accounting
+    (the default) instead of the token-sum oracle.
+    ``REPRO_SERVING_PAGED=0`` forces the oracle everywhere."""
+    flag = os.environ.get("REPRO_SERVING_PAGED", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
 @dataclass
 class BlockAllocation:
-    """A contiguous logical run of ref-counted block ids."""
+    """A contiguous logical run of ref-counted block ids.
+
+    ``start_offset`` is the token position inside ``block_ids[0]`` where
+    this allocation's tokens begin: fresh allocations start at 0, but the
+    tail half of a mid-block :meth:`BlockManager.split` starts partway into
+    the straddling block. Tokens occupy positions ``[start_offset,
+    start_offset + n_tokens)`` laid out consecutively across the blocks —
+    the invariant every block computation below relies on.
+    """
 
     block_ids: List[int]
     n_tokens: int
     released: bool = False
+    start_offset: int = 0
 
 
 class BlockManager:
@@ -39,6 +61,11 @@ class BlockManager:
     def __init__(self, capacity_tokens: int, block_tokens: int = 16):
         if capacity_tokens <= 0 or block_tokens <= 0:
             raise ServingError("capacity_tokens and block_tokens must be positive")
+        if capacity_tokens < block_tokens:
+            raise ServingError(
+                f"capacity of {capacity_tokens} tokens holds zero "
+                f"{block_tokens}-token blocks"
+            )
         self.block_tokens = block_tokens
         self.n_blocks = capacity_tokens // block_tokens
         self._free: List[int] = list(range(self.n_blocks))
@@ -64,7 +91,10 @@ class BlockManager:
 
     def allocate(self, n_tokens: int) -> BlockAllocation:
         """Allocate blocks for ``n_tokens``; raises :class:`CapacityError`
-        when the pool cannot satisfy the request."""
+        when the pool cannot satisfy the request. ``n_tokens == 0`` yields a
+        valid empty allocation (a decode tail before its first token)."""
+        if n_tokens < 0:
+            raise ServingError(f"cannot allocate {n_tokens} tokens")
         need = self.blocks_needed(n_tokens)
         if need > self.free_blocks:
             raise CapacityError(
@@ -83,7 +113,11 @@ class BlockManager:
             if self._refs.get(b, 0) <= 0:
                 raise ServingError(f"fork of freed block {b}")
             self._refs[b] += 1
-        return BlockAllocation(block_ids=list(alloc.block_ids), n_tokens=alloc.n_tokens)
+        return BlockAllocation(
+            block_ids=list(alloc.block_ids),
+            n_tokens=alloc.n_tokens,
+            start_offset=alloc.start_offset,
+        )
 
     def release(self, alloc: BlockAllocation) -> None:
         """Drop one reference to each block; free blocks reaching zero."""
@@ -100,12 +134,63 @@ class BlockManager:
                 self._refs[b] = refs - 1
         alloc.released = True
 
+    def split(
+        self, alloc: BlockAllocation, head_tokens: int
+    ) -> Tuple[BlockAllocation, BlockAllocation]:
+        """Split an allocation at ``head_tokens`` into (head, tail).
+
+        Models a radix edge split: block ids map positionally onto the
+        allocation's tokens, so the head keeps the blocks covering its
+        tokens and the tail keeps the blocks covering the remainder. When
+        the cut falls inside a block, that block *straddles* both halves:
+        it gains a reference and is owned by head and tail alike until both
+        release it — real block-granular sharing, and the reason evicting a
+        small tail may free fewer blocks than its token count suggests.
+        The input allocation is consumed (marked released without touching
+        refcounts — ownership transfers to the two halves). Forked copies
+        of the input remain valid: they reference the same block ids.
+        """
+        if alloc.released:
+            raise ServingError("split of a released allocation")
+        if not 0 < head_tokens < alloc.n_tokens:
+            raise ServingError(
+                f"split point {head_tokens} outside (0, {alloc.n_tokens})"
+            )
+        # All block arithmetic is in *block-local* token positions: the cut
+        # sits at start_offset + head_tokens, not at head_tokens — the tail
+        # of an earlier mid-block split starts partway into its first block.
+        cut = alloc.start_offset + head_tokens
+        n_head = self.blocks_needed(cut)
+        tail_start = cut // self.block_tokens
+        head = BlockAllocation(
+            block_ids=alloc.block_ids[:n_head],
+            n_tokens=head_tokens,
+            start_offset=alloc.start_offset,
+        )
+        tail = BlockAllocation(
+            block_ids=alloc.block_ids[tail_start:],
+            n_tokens=alloc.n_tokens - head_tokens,
+            start_offset=cut % self.block_tokens,
+        )
+        if cut % self.block_tokens:
+            straddle = alloc.block_ids[tail_start]
+            if self._refs.get(straddle, 0) <= 0:
+                raise ServingError(f"split across freed block {straddle}")
+            self._refs[straddle] += 1
+        alloc.released = True
+        return head, tail
+
     def grow(self, alloc: BlockAllocation, extra_tokens: int) -> None:
         """Extend an allocation in place (decode appends tokens)."""
         if alloc.released:
             raise ServingError("grow of a released allocation")
+        if extra_tokens < 0:
+            raise ServingError(f"cannot grow by {extra_tokens} tokens")
         new_total = alloc.n_tokens + extra_tokens
-        need = self.blocks_needed(new_total) - len(alloc.block_ids)
+        need = (
+            self.blocks_needed(alloc.start_offset + new_total)
+            - len(alloc.block_ids)
+        )
         if need > self.free_blocks:
             raise CapacityError(
                 f"grow needs {need} blocks, only {self.free_blocks} free"

@@ -35,6 +35,16 @@ class BatchResult:
     def prefix_hit_rate(self) -> float:
         return self.engine_result.prefix_hit_rate
 
+    @property
+    def peak_kv_blocks(self) -> int:
+        """Peak physical KV blocks charged (0 under token-sum accounting)."""
+        return self.engine_result.peak_kv_blocks
+
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of peak block memory lost to internal fragmentation."""
+        return self.engine_result.fragmentation
+
 
 class SimulatedLLMClient:
     """Batch-generation client backed by :class:`SimulatedLLMEngine`.
@@ -143,6 +153,11 @@ class SimulatedLLMClient:
         self.engine.submit_all(requests)
         result = self.engine.run()
         return BatchResult(outputs=out_texts, engine_result=result)
+
+    def cancel_pending(self) -> int:
+        """Withdraw queued requests after a failed ``generate`` so the
+        engine (and its warm prefix cache) can serve the next call."""
+        return self.engine.flush_waiting()
 
     def reset_cache(self) -> None:
         """Fresh server state (new engine, same tokenizer)."""

@@ -29,6 +29,26 @@ float rounding):
     (``REPRO_SERVING_FASTPATH=0`` selects it, plus the scan-based radix
     eviction, everywhere).
 
+Two *KV accounting* models gate admission (orthogonal to the replay mode):
+
+``kv_accounting="paged"`` (default)
+    PagedAttention-style block accounting through
+    :class:`~repro.llm.blocks.BlockManager`: each radix node owns the
+    fixed-size blocks backing its edge, an admitted request fork-shares
+    (ref-counts) the blocks of its matched prefix and allocates fresh
+    blocks only for the suffix, decode grows a private tail allocation
+    block-by-block (fully reserved at admission so decoding never OOMs),
+    and radix eviction returns the victim's blocks to the pool. Admission
+    charges whole blocks, so internal fragmentation — partially-filled
+    last blocks — is visible to every benchmark via ``peak_kv_blocks`` /
+    ``fragmentation_tokens``.
+
+``kv_accounting="tokens"``
+    The original token-sum heuristic, kept as the selectable oracle
+    (``REPRO_SERVING_PAGED=0`` selects it everywhere). With
+    ``block_tokens=1`` the paged path reproduces this oracle's schedules
+    and clocks exactly (a block is a token; no rounding, no straddles).
+
 Disabling the prefix cache turns the same machinery into the paper's
 *No Cache* baseline: every prompt prefills fully and its KV is private,
 shrinking the feasible batch.
@@ -42,6 +62,7 @@ from heapq import heappop, heappush
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ServingError
+from repro.llm.blocks import BlockAllocation, BlockManager, paged_accounting_enabled
 from repro.llm.costmodel import CostModel
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
@@ -58,13 +79,20 @@ class EngineConfig:
     (useful for the memory-pressure ablation); ``mode`` selects the replay
     engine: ``"event"`` (closed-form multi-step advance), ``"stepwise"``
     (per-token reference loop), or ``"auto"`` (event unless
-    ``REPRO_SERVING_FASTPATH=0``).
+    ``REPRO_SERVING_FASTPATH=0``); ``kv_accounting`` selects the admission
+    model: ``"paged"`` (block-granular, vLLM-style), ``"tokens"`` (the
+    token-sum oracle), or ``"auto"`` (paged unless
+    ``REPRO_SERVING_PAGED=0``); ``block_tokens`` is the paged block size
+    (16 in vLLM by default; 1 makes paged numerically identical to the
+    token oracle).
     """
 
     enable_prefix_cache: bool = True
     max_batch_size: int = 64
     kv_capacity_tokens: Optional[int] = None
     mode: str = "auto"
+    kv_accounting: str = "auto"
+    block_tokens: int = 16
 
 
 @dataclass
@@ -74,6 +102,12 @@ class _Running:
     reserved_tokens: int
     decoded: int = 0
     pin: Optional[object] = None
+    #: Paged accounting only: forked references to the shared blocks of the
+    #: prompt's radix path (released at completion), and the private tail
+    #: allocation decode tokens grow into (plus the whole prompt when the
+    #: prefix cache is off).
+    forks: Optional[List[BlockAllocation]] = None
+    tail: Optional[BlockAllocation] = None
 
     @property
     def context_len(self) -> int:
@@ -93,6 +127,15 @@ class EngineResult:
     decode_steps: int
     peak_kv_tokens: int
     max_batch_seen: int
+    #: Accounting model the run admitted under ("paged" or "tokens").
+    kv_accounting: str = "tokens"
+    #: Paged accounting only (0 otherwise): block size, peak physical
+    #: blocks charged (allocated + reserved decode blocks), and internal
+    #: fragmentation at that peak — token slots inside charged blocks that
+    #: hold no KV (partially-filled last blocks, decode reservations).
+    block_tokens: int = 0
+    peak_kv_blocks: int = 0
+    fragmentation_tokens: int = 0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -101,6 +144,15 @@ class EngineResult:
             return 0.0
         return self.cached_tokens / self.prompt_tokens
 
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of peak block memory lost to internal fragmentation
+        (0.0 under token-sum accounting, where blocks are not modelled)."""
+        denom = self.peak_kv_blocks * self.block_tokens
+        if denom == 0:
+            return 0.0
+        return self.fragmentation_tokens / denom
+
 
 def _resolve_mode(mode: str) -> str:
     if mode == "auto":
@@ -108,6 +160,14 @@ def _resolve_mode(mode: str) -> str:
     if mode not in ("event", "stepwise"):
         raise ServingError(f"unknown engine mode {mode!r}")
     return mode
+
+
+def _resolve_accounting(accounting: str) -> str:
+    if accounting == "auto":
+        return "paged" if paged_accounting_enabled() else "tokens"
+    if accounting not in ("paged", "tokens"):
+        raise ServingError(f"unknown kv accounting {accounting!r}")
+    return accounting
 
 
 class SimulatedLLMEngine:
@@ -131,15 +191,35 @@ class SimulatedLLMEngine:
         )
         if self.capacity_tokens <= 0:
             raise ServingError(f"no KV memory left for {model.name} on this cluster")
+        self.kv_accounting = _resolve_accounting(self.config.kv_accounting)
+        self.block_tokens = self.config.block_tokens
+        if self.block_tokens <= 0:
+            raise ServingError("block_tokens must be positive")
+        # Paged admission: a BlockManager owns the physical pool, the radix
+        # cache attaches per-node allocations to it. Capacity is floored to
+        # whole blocks, exactly as a real paged allocator would.
+        self.blocks: Optional[BlockManager] = (
+            BlockManager(self.capacity_tokens, self.block_tokens)
+            if self.kv_accounting == "paged"
+            else None
+        )
         # The oracle mode keeps the scan-based cache so REPRO_SERVING_FASTPATH=0
         # reproduces the original implementation end to end.
         self.cache = RadixPrefixCache(
-            eviction="heap" if self.mode == "event" else "scan"
+            eviction="heap" if self.mode == "event" else "scan",
+            block_manager=self.blocks,
         )
         self._use_pins = self.mode == "event"
         self._waiting: Deque[Request] = deque()
         self._clock = 0.0
         self._private_tokens = 0
+        #: Decode blocks promised at admission but not yet drawn from the
+        #: pool (paged accounting): the tail allocation grows block-by-block
+        #: as decode proceeds, and this reservation guarantees the growth
+        #: can never fail mid-decode.
+        self._reserved_blocks = 0
+        self._peak_blocks = 0
+        self._frag_at_peak = 0
         # Once the queue head fails admission on memory, nothing but a
         # completion can change the outcome (the failed attempt already
         # evicted everything evictable), so further attempts are skipped
@@ -155,6 +235,16 @@ class SimulatedLLMEngine:
         for r in requests:
             self.submit(r)
 
+    def flush_waiting(self) -> int:
+        """Drop every queued-but-unadmitted request and unblock admission;
+        returns how many were dropped. Used to clean up after a failed run
+        (e.g. a :class:`CapacityError` on an infeasible request) so the
+        engine — and its warm cache — stay usable for the next job."""
+        n = len(self._waiting)
+        self._waiting.clear()
+        self._admission_blocked = False
+        return n
+
     def run(self) -> EngineResult:
         """Drain the queue; returns aggregate metrics.
 
@@ -163,6 +253,10 @@ class SimulatedLLMEngine:
         this).
         """
         self._admission_blocked = False
+        # Peaks are per-run (like the token peak), even though the cache —
+        # and its block pool — persist across runs.
+        self._peak_blocks = 0
+        self._frag_at_peak = 0
         if self.mode == "event":
             return self._run_event()
         return self._run_stepwise()
@@ -182,7 +276,7 @@ class SimulatedLLMEngine:
                     raise ServingError("admission stalled with empty batch")
                 break
             max_batch_seen = max(max_batch_seen, len(running))
-            peak = max(peak, self._used_tokens())
+            peak = max(peak, self._sample_usage())
 
             # Retire zero-output requests without a decode step.
             still: List[_Running] = []
@@ -201,6 +295,11 @@ class SimulatedLLMEngine:
             still = []
             for r in running:
                 r.decoded += 1
+                if r.tail is not None:
+                    # Paged accounting: the decode tail grows one token at a
+                    # time, drawing a fresh block only at block boundaries
+                    # (covered by the admission-time reservation).
+                    self._grow_tail(r, 1)
                 if r.decoded == 1:
                     r.metrics.first_token_at_s = self._clock
                 if r.decoded >= r.request.output_tokens:
@@ -240,7 +339,7 @@ class SimulatedLLMEngine:
                     raise ServingError("admission stalled with empty batch")
                 break
             max_batch_seen = max(max_batch_seen, batch + len(wave))
-            peak = max(peak, self._used_tokens())
+            peak = max(peak, self._sample_usage())
 
             retired = False
             for m in wave:
@@ -316,10 +415,40 @@ class SimulatedLLMEngine:
             decode_steps=decode_steps,
             peak_kv_tokens=peak,
             max_batch_seen=max_batch_seen,
+            kv_accounting=self.kv_accounting,
+            block_tokens=self.block_tokens if self.blocks is not None else 0,
+            peak_kv_blocks=self._peak_blocks,
+            fragmentation_tokens=self._frag_at_peak,
         )
 
     def _used_tokens(self) -> int:
         return self.cache.total_tokens + self._private_tokens
+
+    def _sample_usage(self) -> int:
+        """Token-sum KV usage right now; as a side effect, under paged
+        accounting, folds the current block charge (allocated + reserved)
+        into the per-run peak. Sampled at admission points in both replay
+        modes; the charge is invariant to decode progress (a tail's drawn
+        blocks plus its outstanding reservation is a constant), so both
+        modes record identical peaks."""
+        used = self.cache.total_tokens + self._private_tokens
+        bm = self.blocks
+        if bm is not None:
+            charged = bm.used_blocks + self._reserved_blocks
+            if charged > self._peak_blocks:
+                self._peak_blocks = charged
+                self._frag_at_peak = charged * self.block_tokens - used
+        return used
+
+    def _grow_tail(self, r: _Running, extra_tokens: int) -> None:
+        """Grow a request's private tail allocation, consuming its
+        admission-time block reservation as boundaries are crossed."""
+        tail = r.tail
+        before = len(tail.block_ids)
+        self.blocks.grow(tail, extra_tokens)
+        self._reserved_blocks -= len(tail.block_ids) - before
+        if self._reserved_blocks < 0:
+            raise ServingError("decode block reservation went negative")
 
     def _admit(self, running: List[_Running], n_active: Optional[int] = None) -> None:
         """Admit FIFO while memory and batch slots allow, appending members
@@ -331,6 +460,7 @@ class SimulatedLLMEngine:
         base = len(running) if n_active is None else n_active
         cache_on = self.config.enable_prefix_cache
         cache = self.cache
+        bm = self.blocks
         wave: List[Tuple[int, int]] = []  # (new_tokens, cached_prefix) per admission
         wave_members: List[_Running] = []
         while self._waiting and base + len(wave_members) < self.config.max_batch_size:
@@ -344,10 +474,25 @@ class SimulatedLLMEngine:
             new_prompt = prompt_len - hit
             # Shared tokens enter the radix tree; decode KV (and, without a
             # cache, the whole prompt) is reserved privately up front.
-            shared_growth = new_prompt if cache_on else 0
             private_growth = req.output_tokens + (0 if cache_on else prompt_len)
-            need = shared_growth + private_growth
-            free = self.capacity_tokens - self._used_tokens()
+            if bm is not None:
+                # Paged admission charges whole blocks: the matched prefix
+                # is fork-shared (zero new blocks), the suffix rounds up to
+                # its own blocks, and the private tail (decode KV, plus the
+                # prompt when the cache is off) reserves its blocks now so
+                # block-by-block growth can never fail.
+                if cache_on:
+                    need = bm.blocks_needed(new_prompt) + bm.blocks_needed(
+                        req.output_tokens
+                    )
+                else:
+                    need = bm.blocks_needed(prompt_len + req.output_tokens)
+                free = bm.free_blocks - self._reserved_blocks
+                unit = "blocks"
+            else:
+                need = (new_prompt if cache_on else 0) + private_growth
+                free = self.capacity_tokens - self._used_tokens()
+                unit = "tokens"
             if need > free and cache_on:
                 if self._use_pins:
                     # Running requests' paths are pinned persistently; only
@@ -356,9 +501,17 @@ class SimulatedLLMEngine:
                 else:
                     protected = [r.request.prompt_tokens for r in running]
                     protected.append(req.prompt_tokens[:hit])
-                free += cache.evict(need - free, protected=protected)
+                free += cache.evict(need - free, protected=protected, unit=unit)
             if need > free:
                 if base == 0 and not wave_members:
+                    if bm is not None:
+                        raise CapacityError(
+                            f"request {req.request_id} needs {need} KV blocks; "
+                            f"pool is {bm.n_blocks} blocks of "
+                            f"{bm.block_tokens} tokens "
+                            f"({self.capacity_tokens} token capacity, "
+                            f"{self._reserved_blocks} blocks reserved)"
+                        )
                     raise CapacityError(
                         f"request {req.request_id} needs {need} KV tokens; "
                         f"capacity is {self.capacity_tokens}"
@@ -372,6 +525,20 @@ class SimulatedLLMEngine:
                 cache.insert(req.prompt_tokens, req.prompt_bytes)
                 if self._use_pins:
                     pin = cache.pin(req.prompt_tokens)
+            forks = tail = None
+            if bm is not None:
+                if cache_on:
+                    # The request holds its own block refs along the whole
+                    # prompt path (matched prefix + fresh suffix), like a
+                    # vLLM sequence forked from a cached prefix. The suffix
+                    # blocks were just drawn by insert(); only the decode
+                    # tail stays reserved.
+                    forks = cache.fork_path(req.prompt_tokens)
+                    tail = bm.allocate(0)
+                    self._reserved_blocks += bm.blocks_needed(req.output_tokens)
+                else:
+                    tail = bm.allocate(prompt_len)
+                    self._reserved_blocks += need - len(tail.block_ids)
             self._private_tokens += private_growth
 
             metrics = RequestMetrics(
@@ -385,6 +552,8 @@ class SimulatedLLMEngine:
                 metrics=metrics,
                 reserved_tokens=private_growth,
                 pin=pin,
+                forks=forks,
+                tail=tail,
             )
             wave.append((new_prompt, hit))
             wave_members.append(member)
@@ -406,6 +575,23 @@ class SimulatedLLMEngine:
         if r.pin is not None:
             self.cache.unpin(r.pin)
             r.pin = None
+        if r.tail is not None:
+            # Settle the tail before releasing it: the event loop defers
+            # block-by-block growth to the completion event (between events
+            # the charge is covered by the reservation, and the closed-form
+            # jump never observes intermediate states); the stepwise loop
+            # already grew it token-by-token, making this a no-op.
+            target = r.decoded + (
+                0 if self.config.enable_prefix_cache else r.request.prompt_len
+            )
+            if r.tail.n_tokens < target:
+                self._grow_tail(r, target - r.tail.n_tokens)
+            self.blocks.release(r.tail)
+            r.tail = None
+        if r.forks:
+            for fork in r.forks:
+                self.blocks.release(fork)
+            r.forks = None
         r.metrics.output_tokens = r.decoded
         r.metrics.finished_at_s = self._clock
         done.append(r.metrics)

@@ -46,6 +46,7 @@ from heapq import heappush, heappop
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ServingError
+from repro.llm.blocks import BlockAllocation, BlockManager
 
 #: Packed token width used for offset-based edge comparison ("q" = int64,
 #: wide enough for any realistic vocabulary id).
@@ -83,6 +84,7 @@ class _Node:
         "pin_count",
         "dead",
         "heap_entries",
+        "alloc",
     )
 
     _ids = itertools.count()
@@ -101,6 +103,9 @@ class _Node:
         self.dead = False
         #: Live eviction-heap entries referencing this node (heap mode).
         self.heap_entries = 0
+        #: Physical KV blocks backing this edge's tokens (paged accounting
+        #: only; None when the cache has no block manager).
+        self.alloc: Optional[BlockAllocation] = None
 
 
 def _common_prefix_len(edge: Sequence[int], tokens: Sequence[int], pos: int) -> int:
@@ -128,12 +133,23 @@ def pack_tokens(tokens: Sequence[int]) -> Optional[bytes]:
 class RadixPrefixCache:
     """Prefix cache with LRU eviction and pinned (refcounted) paths."""
 
-    def __init__(self, *, eviction: str = "auto"):
+    def __init__(
+        self,
+        *,
+        eviction: str = "auto",
+        block_manager: Optional[BlockManager] = None,
+    ):
         if eviction == "auto":
             eviction = "heap" if serving_fastpath_enabled() else "scan"
         if eviction not in ("heap", "scan"):
             raise ValueError(f"unknown eviction mode {eviction!r}")
         self.eviction = eviction
+        #: Optional paged-KV authority: when set, every node owns a block
+        #: allocation for its edge tokens — created on insert, divided on
+        #: edge splits (the straddling block is ref-shared), released on
+        #: eviction. The tree decides *what* is shared; the manager charges
+        #: *how many blocks* that sharing actually costs.
+        self._bm = block_manager
         self.root = _Node(edge=(), parent=None)
         self.total_tokens = 0
         self._clock = 0
@@ -241,6 +257,10 @@ class RadixPrefixCache:
                 if fast and tb is not None and n - pos >= _BYTES_MIN_EDGE:
                     leaf.edge_bytes = tb[pos * _PACK_BYTES :]
                 leaf.last_access = now
+                if self._bm is not None:
+                    # The engine pre-checks capacity before inserting, so
+                    # this draw from the pool cannot fail mid-admission.
+                    leaf.alloc = self._bm.allocate(len(leaf.edge))
                 node.children[tokens[pos]] = leaf
                 if fast:
                     self._push_candidate(leaf)
@@ -274,6 +294,10 @@ class RadixPrefixCache:
                     child.edge_bytes = eb[k * _PACK_BYTES :]
                 else:
                     child.edge_bytes = None
+            if self._bm is not None:
+                # Divide the edge's blocks at the split point; a block the
+                # cut falls inside is ref-shared between head and tail.
+                mid.alloc, child.alloc = self._bm.split(child.alloc, k)
             node.children[tokens[pos]] = mid
             child.edge = tail
             child.parent = mid
@@ -311,6 +335,15 @@ class RadixPrefixCache:
             node = child
         return last
 
+    def _resolve_end(self, tokens: Tuple[int, ...]) -> Optional[_Node]:
+        """Deepest cached node for ``tokens``, via the one-slot insert memo
+        when it matches (identity compare — the engine replays the same
+        tuple object through insert/pin/fork_path), else a path walk."""
+        memo = self._last_end
+        if memo is not None and memo[0] is tokens and not memo[1].dead:
+            return memo[1]
+        return self._path_end(tokens)
+
     def pin(self, tokens: Sequence[int]) -> Optional[_Node]:
         """Pin the cached path of ``tokens`` against eviction.
 
@@ -321,11 +354,7 @@ class RadixPrefixCache:
         """
         if not isinstance(tokens, tuple):
             tokens = tuple(tokens)
-        memo = self._last_end
-        if memo is not None and memo[0] is tokens and not memo[1].dead:
-            end: Optional[_Node] = memo[1]
-        else:
-            end = self._path_end(tokens)
+        end = self._resolve_end(tokens)
         if end is None:
             return None
         end.pin_count += 1
@@ -357,6 +386,29 @@ class RadixPrefixCache:
                 self._push_candidate(cur)
             cur = cur.parent
 
+    # ---------------------------------------------------- block ownership
+    def fork_path(self, tokens: Sequence[int]) -> List[BlockAllocation]:
+        """Fork (ref-count-bump) the block allocation of every node on the
+        cached path of ``tokens`` — the paged-KV counterpart of :meth:`pin`:
+        the admitted request holds its own reference to each shared block,
+        exactly like a vLLM sequence forked from a cached prefix. Returns
+        the forked allocations; the engine releases them at completion.
+        No-op (empty list) without a block manager."""
+        if self._bm is None:
+            return []
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        forks: List[BlockAllocation] = []
+        cur: Optional[_Node] = self._resolve_end(tokens)
+        while cur is not None and cur is not self.root:
+            if cur.alloc is None:
+                raise ServingError(
+                    f"node {cur.node_id} has no block allocation to fork"
+                )
+            forks.append(self._bm.fork(cur.alloc))
+            cur = cur.parent
+        return forks
+
     # ------------------------------------------------------ legacy walkers
     def path_node_ids(self, tokens: Sequence[int]) -> Set[int]:
         """Ids of nodes along the cached path of ``tokens`` (tolerant walk:
@@ -386,22 +438,41 @@ class RadixPrefixCache:
 
     # ------------------------------------------------------------ eviction
     def evict(
-        self, n_tokens: int, protected: Iterable[Sequence[int]] = ()
+        self,
+        n_units: int,
+        protected: Iterable[Sequence[int]] = (),
+        unit: str = "tokens",
     ) -> int:
-        """Evict LRU leaves until >= ``n_tokens`` freed or nothing remains.
+        """Evict LRU leaves until >= ``n_units`` freed or nothing remains.
+
+        ``unit`` selects the currency: ``"tokens"`` (edge tokens removed
+        from the tree — the token-sum oracle's view) or ``"blocks"``
+        (physical blocks actually returned to the block manager's free
+        pool; requires a block manager). The two differ under paged
+        accounting: a victim whose blocks straddle a split boundary frees
+        fewer blocks than its token count suggests, so block-denominated
+        eviction keeps going until real memory is available.
 
         ``protected`` are token sequences whose cached paths must survive
         this call (the engine passes the not-yet-admitted request's matched
         prefix; running requests are pinned persistently). Paths pinned via
-        :meth:`pin` always survive. Returns tokens actually freed.
+        :meth:`pin` always survive. Returns units actually freed.
+
+        Victim *selection* is pure LRU either way, so the paged and token
+        oracles pick victims in the same order — only the stopping point
+        differs.
         """
+        if unit not in ("tokens", "blocks"):
+            raise ServingError(f"unknown eviction unit {unit!r}")
+        if unit == "blocks" and self._bm is None:
+            raise ServingError("block-denominated eviction needs a block manager")
         if not self._fast:
-            return self._evict_scan(n_tokens, protected)
+            return self._evict_scan(n_units, protected, unit)
         tickets = [self.pin(seq) for seq in protected]
         try:
             freed = 0
             heap = self._heap
-            while freed < n_tokens:
+            while freed < n_units:
                 victim: Optional[_Node] = None
                 while heap:
                     stamp, nid, node = heappop(heap)
@@ -417,13 +488,13 @@ class RadixPrefixCache:
                     break
                 if victim is None:
                     break
-                freed += self._remove_leaf(victim)
+                freed += self._remove_leaf(victim, unit)
             return freed
         finally:
             for ticket in tickets:
                 self.unpin(ticket)
 
-    def _remove_leaf(self, victim: _Node) -> int:
+    def _remove_leaf(self, victim: _Node, unit: str = "tokens") -> int:
         k = len(victim.edge)
         self.total_tokens -= k
         self.evicted_tokens += k
@@ -432,6 +503,12 @@ class RadixPrefixCache:
         assert parent is not None
         del parent.children[victim.edge[0]]
         victim.parent = None
+        freed_blocks = 0
+        if self._bm is not None and victim.alloc is not None:
+            before = self._bm.free_blocks
+            self._bm.release(victim.alloc)
+            victim.alloc = None
+            freed_blocks = self._bm.free_blocks - before
         if (
             self._fast
             and parent is not self.root
@@ -439,21 +516,21 @@ class RadixPrefixCache:
             and parent.lock_ref == 0
         ):
             self._push_candidate(parent)
-        return k
+        return freed_blocks if unit == "blocks" else k
 
     def _evict_scan(
-        self, n_tokens: int, protected: Iterable[Sequence[int]]
+        self, n_units: int, protected: Iterable[Sequence[int]], unit: str = "tokens"
     ) -> int:
         """Reference eviction: full-tree LRU scan per victim."""
         protected_ids: Set[int] = set()
         for seq in protected:
             protected_ids |= self.path_node_ids(seq)
         freed = 0
-        while freed < n_tokens:
+        while freed < n_units:
             victim = self._lru_leaf(protected_ids)
             if victim is None:
                 break
-            freed += self._remove_leaf(victim)
+            freed += self._remove_leaf(victim, unit)
         return freed
 
     def _lru_leaf(self, protected_ids: Set[int]) -> Optional[_Node]:
@@ -498,6 +575,21 @@ class RadixPrefixCache:
                     raise ServingError("evicted node still reachable")
                 if node.edge_bytes is not None and node.edge_bytes != pack_tokens(node.edge):
                     raise ServingError("packed edge out of sync with edge tokens")
+                if self._bm is not None:
+                    if node.alloc is None:
+                        raise ServingError(
+                            f"node {node.node_id} has no block allocation"
+                        )
+                    if node.alloc.released:
+                        raise ServingError(
+                            f"node {node.node_id} holds a released allocation"
+                        )
+                    if node.alloc.n_tokens != len(node.edge):
+                        raise ServingError(
+                            f"node {node.node_id} allocation covers "
+                            f"{node.alloc.n_tokens} tokens for a "
+                            f"{len(node.edge)}-token edge"
+                        )
                 count += len(node.edge)
             if node.pin_count < 0 or node.lock_ref < 0:
                 raise ServingError("negative pin refcount")
@@ -551,3 +643,5 @@ class RadixPrefixCache:
                     raise ServingError(
                         f"evictable leaf {node.node_id} missing from eviction heap"
                     )
+        if self._bm is not None:
+            self._bm.check_invariants()

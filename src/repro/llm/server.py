@@ -29,10 +29,21 @@ class JobStats:
     cached_tokens: int
     output_tokens: int
     seconds: float
+    #: Paged-KV admission metrics (zero under the token-sum oracle).
+    block_tokens: int = 0
+    peak_kv_blocks: int = 0
+    fragmentation_tokens: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.cached_tokens / self.prompt_tokens if self.prompt_tokens else 0.0
+
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of peak block memory lost to internal fragmentation
+        (0.0 under the token-sum oracle)."""
+        denom = self.peak_kv_blocks * self.block_tokens
+        return self.fragmentation_tokens / denom if denom else 0.0
 
 
 @dataclass
@@ -81,15 +92,30 @@ class BatchInferenceServer:
         fresh_cache: bool = False,
     ) -> BatchResult:
         """Run one batch job; the prefix cache persists across jobs unless
-        ``fresh_cache`` is set (tenant isolation / fair measurement)."""
+        ``fresh_cache`` is set (tenant isolation / fair measurement).
+
+        The job id is registered only once the job has actually run: a job
+        that dies (e.g. a :class:`~repro.errors.CapacityError` from an
+        oversized request) leaves its id free, so the caller can fix the
+        workload and retry under the same name instead of hitting a
+        spurious "duplicate job id".
+        """
         if job_id in self._job_ids:
             raise ServingError(f"duplicate job id {job_id!r}")
         if not prompts:
             raise ServingError("job has no prompts")
-        self._job_ids.add(job_id)
         if fresh_cache:
             self.client.reset_cache()
-        result = self.client.generate(prompts, outputs=outputs, output_lens=output_lens)
+        try:
+            result = self.client.generate(
+                prompts, outputs=outputs, output_lens=output_lens
+            )
+        except Exception:
+            # Leave no queued leftovers behind: the retry must not trip
+            # over the failed job's requests.
+            self.client.cancel_pending()
+            raise
+        self._job_ids.add(job_id)
         er = result.engine_result
         self.stats.jobs.append(
             JobStats(
@@ -99,6 +125,9 @@ class BatchInferenceServer:
                 cached_tokens=er.cached_tokens,
                 output_tokens=er.decode_tokens,
                 seconds=er.total_seconds,
+                block_tokens=er.block_tokens,
+                peak_kv_blocks=er.peak_kv_blocks,
+                fragmentation_tokens=er.fragmentation_tokens,
             )
         )
         return result
@@ -111,11 +140,15 @@ class BatchInferenceServer:
 
     def report(self) -> str:
         """Operator-style text report."""
-        lines = ["job            reqs   prompt_tok  hit%    out_tok   seconds"]
+        lines = [
+            "job            reqs   prompt_tok  hit%    out_tok   seconds"
+            "  kv_blocks  frag_tok"
+        ]
         for j in self.stats.jobs:
             lines.append(
                 f"{j.job_id:<14} {j.n_requests:>5}  {j.prompt_tokens:>10}  "
                 f"{100 * j.hit_rate:5.1f}%  {j.output_tokens:>7}  {j.seconds:8.2f}"
+                f"  {j.peak_kv_blocks:>9}  {j.fragmentation_tokens:>8}"
             )
         lines.append(
             f"lifetime hit rate {100 * self.stats.lifetime_hit_rate:.1f}% over "

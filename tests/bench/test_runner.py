@@ -1,5 +1,7 @@
 """Tests for the benchmark runner and workload answerer."""
 
+import dataclasses
+
 import pytest
 
 from repro.bench.policies import CACHE_GGR, CACHE_ORIGINAL, NO_CACHE
@@ -101,6 +103,95 @@ class TestRunQuery:
         assert a.engine_seconds == b.engine_seconds
         assert a.phr == b.phr
 
+    def test_empty_table_returns_result(self, movies):
+        """Regression: an empty source table must yield a RunResult (no
+        IndexError from the schedule_phr rollup), with zeroed metrics."""
+        tbl = movies.table
+        empty = dataclasses.replace(
+            movies, table=tbl.filter([False] * tbl.n_rows), labels=[]
+        )
+        res = run_query(get_query("movies-T1"), empty, CACHE_GGR)
+        assert isinstance(res, RunResult)
+        assert res.n_rows == 0
+        assert res.prompt_tokens == 0
+        assert res.schedule_phr == 0.0
+        assert res.phr == 0.0
+
+    def test_t3_stage1_keeps_zero_rows(self, movies):
+        """Regression: a T3 whose stage-1 filter rejects every row must
+        still return a RunResult covering both stages."""
+        q = get_query("movies-T3")
+
+        class RejectAll(WorkloadAnswerer):
+            def sentiment(self, row_id):
+                return "NEITHER"  # never equals stage1_keep
+
+        res = run_query(q, movies, CACHE_GGR, answerer=RejectAll(movies, q))
+        assert isinstance(res, RunResult)
+        assert res.n_llm_calls == 2
+        # Stage 1 ran over the full table; stage 2 over zero rows.
+        assert res.prompt_tokens > 0
+        assert 0.0 <= res.schedule_phr <= 1.0
+
+    def test_schedule_phr_aggregates_stages(self, movies):
+        """schedule_phr reflects every stage of a multi-stage query, not
+        only the last call: for a T3 it must lie within the per-stage
+        range (strictly, a prompt-volume-weighted mean)."""
+        from repro.llm.client import SimulatedLLMClient
+        from repro.llm.engine import EngineConfig
+        from repro.relational.expressions import LLMExpr
+        from repro.relational.llm_functions import LLMRuntime
+
+        q = get_query("movies-T3")
+        res = run_query(q, movies, CACHE_GGR, seed=0)
+        # Recompute the per-stage figures independently.
+        client = SimulatedLLMClient(engine_config=EngineConfig())
+        runtime = LLMRuntime(
+            client=client,
+            policy=CACHE_GGR.reorder_policy,
+            fds=movies.fds,
+            answerer=WorkloadAnswerer(movies, q, seed=0),
+        )
+        stage1 = runtime.execute(
+            movies.table, LLMExpr(q.stage1_prompt, q.stage1_fields)
+        )
+        mask = [a == q.stage1_keep for a in stage1]
+        runtime.execute(movies.table.filter(mask), LLMExpr(q.prompt, q.fields))
+        phrs = [c.schedule_phr for c in runtime.calls]
+        assert len(phrs) == 2
+        assert min(phrs) - 1e-12 <= res.schedule_phr <= max(phrs) + 1e-12
+
+    def test_paged_metrics_reported(self, movies):
+        """Block-granular admission surfaces fragmentation on a real
+        benchmark workload at block_tokens=16 and none at block_tokens=1."""
+        q = get_query("movies-T1")
+        res = run_query(q, movies, CACHE_GGR, kv_accounting="paged", block_tokens=16)
+        assert res.kv_accounting == "paged"
+        assert res.block_tokens == 16
+        assert res.peak_kv_blocks > 0
+        assert res.fragmentation_tokens > 0
+        assert 0.0 < res.fragmentation < 1.0
+        assert res.peak_kv_blocks * 16 >= res.peak_kv_tokens
+
+        unit = run_query(q, movies, CACHE_GGR, kv_accounting="paged", block_tokens=1)
+        assert unit.fragmentation_tokens == 0
+        assert unit.fragmentation == 0.0
+        assert unit.peak_kv_blocks == unit.peak_kv_tokens
+
+    def test_token_oracle_matches_paged_at_block_one(self, movies):
+        """End-to-end through the bench runner: the token-sum oracle and
+        the paged path at block_tokens=1 produce identical schedules."""
+        q = get_query("movies-T1")
+        tok = run_query(q, movies, CACHE_GGR, kv_accounting="tokens")
+        pag = run_query(q, movies, CACHE_GGR, kv_accounting="paged", block_tokens=1)
+        assert tok.kv_accounting == "tokens" and pag.kv_accounting == "paged"
+        assert pag.cached_tokens == tok.cached_tokens
+        assert pag.prefill_tokens == tok.prefill_tokens
+        assert pag.peak_kv_tokens == tok.peak_kv_tokens
+        assert pag.engine_seconds == pytest.approx(
+            tok.engine_seconds, rel=1e-6
+        )
+
 
 class TestScaledCapacity:
     def test_full_scale_is_cost_model_capacity(self):
@@ -117,3 +208,25 @@ class TestScaledCapacity:
     def test_batch_floor(self):
         cap = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.0001, 1000, max_batch_size=64)
         assert cap >= int(64 * 1000 * 0.75)
+
+    def test_zero_prompt_estimate_still_one_block(self):
+        """Regression: prompt_tokens_estimate=0 at a tiny scale used to
+        produce a 0-token capacity (a zero-block paged pool)."""
+        cap = scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 1e-9, 0)
+        assert cap >= 16
+
+        from repro.llm.blocks import BlockManager
+
+        BlockManager(cap, block_tokens=16)  # must not raise
+
+    def test_nonsensical_inputs_raise_repro_error(self):
+        with pytest.raises(ReproError):
+            scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.0, 300)
+        with pytest.raises(ReproError):
+            scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, -1.0, 300)
+        with pytest.raises(ReproError):
+            scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.5, -5)
+        with pytest.raises(ReproError):
+            scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.5, 300, max_batch_size=0)
+        with pytest.raises(ReproError):
+            scaled_kv_capacity(LLAMA3_8B, CLUSTER_1XL4, 0.5, 300, block_tokens=0)

@@ -1,11 +1,13 @@
 """Tests for the paged KV block manager."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CapacityError, ServingError
-from repro.llm.blocks import BlockManager
+from repro.llm.blocks import BlockManager, paged_accounting_enabled
 
 
 class TestAllocation:
@@ -41,6 +43,30 @@ class TestAllocation:
         with pytest.raises(ServingError):
             BlockManager(capacity_tokens=16, block_tokens=0)
 
+    def test_capacity_below_one_block_rejected(self):
+        # A sub-block capacity would silently yield a zero-block pool that
+        # can never admit anything; fail loudly at construction instead.
+        with pytest.raises(ServingError):
+            BlockManager(capacity_tokens=15, block_tokens=16)
+
+    def test_allocate_zero_tokens(self):
+        """An empty allocation is valid (a decode tail before its first
+        token): zero blocks drawn, grow and release both work."""
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(0)
+        assert a.block_ids == [] and a.n_tokens == 0
+        assert bm.used_blocks == 0
+        bm.grow(a, 5)
+        assert len(a.block_ids) == 1 and a.n_tokens == 5
+        bm.release(a)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_allocate_negative_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        with pytest.raises(ServingError):
+            bm.allocate(-1)
+
 
 class TestForkRelease:
     def test_fork_shares_blocks(self):
@@ -73,6 +99,19 @@ class TestForkRelease:
         with pytest.raises(ServingError):
             bm.fork(keep)
 
+    def test_fork_after_release_rejected(self):
+        """Forking a released allocation must fail even while its blocks
+        are still live through another reference."""
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(32)
+        keep = bm.fork(a)
+        bm.release(a)
+        with pytest.raises(ServingError):
+            bm.fork(a)  # a is released; keep still holds the blocks
+        assert bm.used_blocks == 2
+        bm.release(keep)
+        bm.check_invariants()
+
 
 class TestGrow:
     def test_grow_within_block(self):
@@ -92,6 +131,168 @@ class TestGrow:
         a = bm.allocate(32)
         with pytest.raises(CapacityError):
             bm.grow(a, 1)
+
+    def test_grow_by_zero_is_noop(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(10)
+        bm.grow(a, 0)
+        assert len(a.block_ids) == 1 and a.n_tokens == 10
+        assert bm.used_blocks == 1
+        bm.check_invariants()
+
+    def test_grow_negative_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(10)
+        with pytest.raises(ServingError):
+            bm.grow(a, -1)
+
+    def test_grow_released_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(10)
+        bm.release(a)
+        with pytest.raises(ServingError):
+            bm.grow(a, 1)
+
+
+class TestSplit:
+    def test_split_on_block_boundary(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(32)
+        head, tail = bm.split(a, 16)
+        assert a.released
+        assert head.n_tokens == 16 and len(head.block_ids) == 1
+        assert tail.n_tokens == 16 and len(tail.block_ids) == 1
+        assert set(head.block_ids).isdisjoint(tail.block_ids)
+        assert bm.used_blocks == 2
+        bm.release(head)
+        bm.release(tail)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_split_inside_block_shares_straddle(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(20)  # 2 blocks
+        head, tail = bm.split(a, 10)
+        # The cut falls inside block 0: both halves own it.
+        assert head.block_ids == [a.block_ids[0]]
+        assert tail.block_ids == a.block_ids
+        assert bm.used_blocks == 2
+        bm.release(tail)
+        # Straddle block survives through head's reference.
+        assert bm.used_blocks == 1
+        bm.release(head)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_split_bounds_rejected(self):
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(20)
+        for bad in (0, 20, -3, 25):
+            with pytest.raises(ServingError):
+                bm.split(a, bad)
+        head, tail = bm.split(a, 5)
+        with pytest.raises(ServingError):
+            bm.split(a, 5)  # consumed
+
+    def test_resplit_of_tail_respects_block_offsets(self):
+        """Regression: the tail of a mid-block split starts partway into
+        its first block, so a further split of it must compute block
+        boundaries from the absolute position — not from token 0 — or a
+        surviving node ends up owning the wrong block and eviction can free
+        a block that still backs cached tokens."""
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(20)  # tokens 0..19 over [b0, b1]
+        b0, b1 = a.block_ids
+        head, tail = bm.split(a, 10)  # tail: tokens 10..19, offset 10 in b0
+        assert tail.start_offset == 10
+        # Cut the tail at its 6th token == absolute token 16: a true block
+        # boundary, so no straddle, and the halves own disjoint blocks.
+        t1, t2 = bm.split(tail, 6)
+        assert t1.block_ids == [b0] and t1.start_offset == 10
+        assert t2.block_ids == [b1] and t2.start_offset == 0
+        bm.release(head)
+        bm.release(t1)
+        # b0 fully released (head + first-split straddle + t1); b1 lives.
+        assert bm.used_blocks == 1
+        # A further mid-block cut of t2 straddle-shares b1 correctly.
+        t2a, t2b = bm.split(t2, 2)
+        assert t2a.block_ids == [b1] and t2b.block_ids == [b1]
+        bm.release(t2b)
+        assert bm.used_blocks == 1  # t2a still holds b1
+        bm.release(t2a)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+    def test_split_preserves_forked_references(self):
+        """A fork taken before the split stays valid: same block ids, own
+        refcounts."""
+        bm = BlockManager(capacity_tokens=160, block_tokens=16)
+        a = bm.allocate(40)
+        clone = bm.fork(a)
+        head, tail = bm.split(a, 18)
+        bm.release(head)
+        bm.release(tail)
+        assert bm.used_blocks == 3  # clone still holds all three
+        bm.release(clone)
+        assert bm.used_blocks == 0
+        bm.check_invariants()
+
+
+class TestEnvFlag:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVING_PAGED", raising=False)
+        assert paged_accounting_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", " 0 "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SERVING_PAGED", value)
+        assert not paged_accounting_enabled()
+
+
+class TestRandomizedChurn:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_alloc_fork_grow_release_churn(self, seed):
+        """Random interleaving of every operation, invariants checked after
+        each one; ends fully drained."""
+        rng = random.Random(seed)
+        bm = BlockManager(capacity_tokens=64 * 16, block_tokens=16)
+        live = []
+        for _ in range(300):
+            op = rng.random()
+            if op < 0.35 or not live:
+                n = rng.randrange(0, 40)
+                if bm.can_allocate(n):
+                    live.append(bm.allocate(n))
+                else:
+                    with pytest.raises(CapacityError):
+                        bm.allocate(n)
+            elif op < 0.55:
+                live.append(bm.fork(rng.choice(live)))
+            elif op < 0.75:
+                a = rng.choice(live)
+                extra = rng.randrange(0, 24)
+                if bm.blocks_needed(a.start_offset + a.n_tokens + extra) - len(
+                    a.block_ids
+                ) <= bm.free_blocks:
+                    bm.grow(a, extra)
+                else:
+                    with pytest.raises(CapacityError):
+                        bm.grow(a, extra)
+            elif op < 0.9:
+                bm.release(live.pop(rng.randrange(len(live))))
+            else:
+                a = live.pop(rng.randrange(len(live)))
+                if a.n_tokens >= 2:
+                    cut = rng.randrange(1, a.n_tokens)
+                    live.extend(bm.split(a, cut))
+                else:
+                    live.append(a)
+            bm.check_invariants()
+        for a in live:
+            bm.release(a)
+        bm.check_invariants()
+        assert bm.used_blocks == 0
+        assert bm.free_blocks == bm.n_blocks
 
 
 class TestProperties:

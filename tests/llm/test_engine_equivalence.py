@@ -56,6 +56,11 @@ def random_workload(rng, n_requests=40, vocab=50, max_len=60, max_out=12):
 
 
 def run_mode(requests, mode, waves=1, **cfg_kwargs):
+    # This suite checks replay-mode (event vs stepwise) equivalence; its
+    # tight-capacity workloads are sized in tokens, so it runs on the
+    # token-sum accounting oracle. Paged-accounting equivalence (including
+    # event vs stepwise under blocks) lives in test_paged_equivalence.py.
+    cfg_kwargs.setdefault("kv_accounting", "tokens")
     eng = SimulatedLLMEngine(
         LLAMA3_8B, CLUSTER_1XL4, EngineConfig(mode=mode, **cfg_kwargs)
     )

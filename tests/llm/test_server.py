@@ -38,6 +38,38 @@ class TestJobs:
         with pytest.raises(ServingError):
             server.submit_job("a", ["p"], output_lens=[1])
 
+    def test_failed_job_id_can_be_retried(self):
+        """Regression: a job that dies with CapacityError used to leave its
+        id registered, so the fixed-up retry hit "duplicate job id"."""
+        from repro.errors import CapacityError
+        from repro.llm.engine import EngineConfig
+
+        server = BatchInferenceServer(
+            engine_config=EngineConfig(kv_capacity_tokens=64, block_tokens=16)
+        )
+        huge = " ".join(f"tok{i}" for i in range(500))
+        with pytest.raises(CapacityError):
+            server.submit_job("etl", [huge], output_lens=[1])
+        # The failed attempt must not burn the id or record stats.
+        assert server.stats.jobs == []
+        res = server.submit_job("etl", ["small prompt"], output_lens=[1])
+        assert len(res.outputs) == 1
+        assert server.job("etl").n_requests == 1
+
+    def test_report_includes_paged_columns(self):
+        from repro.llm.engine import EngineConfig
+
+        server = BatchInferenceServer(
+            engine_config=EngineConfig(kv_accounting="paged")
+        )
+        server.submit_job("a", prompts("x"), output_lens=[1] * 5)
+        report = server.report()
+        assert "kv_blocks" in report and "frag_tok" in report
+        job = server.job("a")
+        assert job.peak_kv_blocks > 0
+        assert job.block_tokens == 16
+        assert 0.0 <= job.fragmentation < 1.0
+
     def test_empty_job_rejected(self):
         server = BatchInferenceServer()
         with pytest.raises(ServingError):
