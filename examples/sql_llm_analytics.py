@@ -30,10 +30,14 @@ def main() -> None:
     db.register("movies", ds.table, fds=ds.fds)
 
     filter_q = FILTER_PROMPTS["movies"].replace("'", "''")
-    kids = db.sql(
-        f"SELECT movietitle FROM movies WHERE LLM('{filter_q}', "
-        "movieinfo, reviewcontent, reviewtype, movietitle) = 'Yes' LIMIT 5"
+    kids_sql = (
+        f"SELECT movietitle FROM movies WHERE reviewtype = 'Fresh' AND "
+        f"LLM('{filter_q}', movieinfo, reviewcontent, movietitle) = 'Yes' LIMIT 5"
     )
+    print("Optimized plan (LLM-aware rewrites + estimated LLM tokens):")
+    print(db.explain(kids_sql))
+    print()
+    kids = db.sql(kids_sql)
     print(f"First kid-friendly titles ({kids.n_rows} shown):")
     for row in kids.rows():
         print("  -", row["movietitle"])
@@ -45,14 +49,30 @@ def main() -> None:
     )
     print(f"\nAverage sentiment score: {score.column('sentiment')[0]:.2f}")
 
+    # Movie-level question over a review-level table: each movie's
+    # metadata repeats across its ~12 reviews, so input dedup collapses the
+    # call to one model invocation per *movie*.
+    runtime.answerer = lambda q, cells, rid: dict(
+        (c.field, c.value) for c in cells
+    )["movietitle"].split()[0]
+    db.sql(
+        "SELECT LLM('Describe the movie in one word.', movietitle, movieinfo) "
+        "AS vibe FROM movies"
+    )
+
     print("\nLLM operator telemetry:")
     for call in runtime.calls:
         print(
-            f"  rows={call.n_rows:4d}  policy={call.policy}  "
+            f"  rows={call.n_rows:4d}  distinct={call.n_distinct:4d}  "
+            f"policy={call.policy}  "
             f"PHR={call.measured_phr:6.1%}  engine={call.engine_seconds:7.2f}s  "
             f"solver={call.solver_seconds * 1000:6.1f}ms"
         )
-    print(f"\nTotal simulated serving time: {runtime.total_engine_seconds:.2f}s")
+    print(
+        f"\nInput dedup saved {runtime.total_dedup_saved_prompt_tokens} prompt "
+        f"tokens ({runtime.total_memo_hits} answer-memo hits)"
+    )
+    print(f"Total simulated serving time: {runtime.total_engine_seconds:.2f}s")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,17 @@ def fmt_pct(x: float, digits: int = 1) -> str:
     return f"{100 * x:.{digits}f}%"
 
 
+def fmt_tokens(n: float) -> str:
+    """Compact token-count formatting ('842', '1.2k', '5.4M') used by the
+    optimizer's EXPLAIN annotations and the SQL micro-benchmarks."""
+    n = float(n)
+    if n >= 1e6:
+        return f"{n / 1e6:.1f}M"
+    if n >= 1e3:
+        return f"{n / 1e3:.1f}k"
+    return f"{n:.0f}"
+
+
 def fmt_seconds(s: float) -> str:
     if s >= 100:
         return f"{s:.0f}s"

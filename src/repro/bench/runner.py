@@ -92,6 +92,19 @@ class RunResult:
     block_tokens: int = 0
     peak_kv_blocks: int = 0
     fragmentation_tokens: int = 0
+    #: SQL-optimizer telemetry: rows actually solved/served after dedup and
+    #: memo lookups (== every row the LLM calls saw when dedup is off),
+    #: prompt tokens the duplicates would have cost, and rows answered from
+    #: the cross-call memo (the latter two are zero with REPRO_SQL_OPT=0).
+    n_distinct_llm_rows: int = 0
+    dedup_saved_prompt_tokens: int = 0
+    memo_hits: int = 0
+
+    @property
+    def dedup_savings(self) -> float:
+        """Fraction of the would-be prompt volume removed by input dedup."""
+        total = self.prompt_tokens + self.dedup_saved_prompt_tokens
+        return self.dedup_saved_prompt_tokens / total if total else 0.0
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -223,12 +236,12 @@ def run_query(
                 frag = er.fragmentation_tokens
             acct = er.kv_accounting
             blk = max(blk, er.block_tokens)
-        # Weight each stage's schedule-level PHR by its prompt volume (row
-        # count when the stage issued no engine calls), so a multi-stage T3
-        # query reports a whole-query figure instead of only the last
-        # stage's — and an empty stage contributes nothing rather than an
-        # IndexError.
-        weight = er.prompt_tokens if er is not None else call.n_rows
+        # Weight each stage's schedule-level PHR by its prompt volume (the
+        # runtime's scheduled-token estimate when the stage issued no
+        # engine calls), so a multi-stage T3 query reports a whole-query
+        # figure instead of only the last stage's — and an empty stage
+        # contributes nothing rather than an IndexError.
+        weight = er.prompt_tokens if er is not None else call.scheduled_prompt_tokens
         sched_num += call.schedule_phr * weight
         sched_den += weight
     return RunResult(
@@ -253,6 +266,9 @@ def run_query(
         block_tokens=blk,
         peak_kv_blocks=peak_blocks,
         fragmentation_tokens=frag,
+        n_distinct_llm_rows=sum(c.n_distinct for c in runtime.calls),
+        dedup_saved_prompt_tokens=runtime.total_dedup_saved_prompt_tokens,
+        memo_hits=runtime.total_memo_hits,
     )
 
 

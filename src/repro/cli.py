@@ -3,6 +3,12 @@
 ``repro list`` shows every experiment; ``repro all`` runs the full set.
 ``--scale`` replays the paper's dataset sizes proportionally
 (``--scale 1.0`` = full size); it defaults to ``REPRO_SCALE`` or 0.05.
+
+``repro explain [--sql "SELECT ..."]`` renders the LLM-aware optimizer's
+plan for a query over the Movies demo catalog: the rewrites that fired
+(non-LLM filters pushed below LLM filters, LLM predicates reordered by
+estimated tokens x selectivity, LIMIT pushed below projections) and the
+estimated LLM prompt tokens per operator.
 """
 
 from __future__ import annotations
@@ -25,14 +31,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', or 'list'",
+        help="experiment name, 'all', 'list', or 'explain'",
     )
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale factor (1.0 = paper size)")
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--sql", type=str, default=None,
+                        help="SQL for 'repro explain' (default: a demo "
+                             "multi-predicate LLM query over Movies)")
     return parser
+
+
+#: Demo query for ``repro explain``: one cheap relational predicate plus
+#: two LLM predicates of very different per-row cost, and a LIMIT — every
+#: optimizer rewrite fires on it.
+EXPLAIN_DEMO_SQL = (
+    "SELECT movietitle FROM movies "
+    "WHERE LLM('Given the movie information and review, answer Yes or No: "
+    "is this movie suitable for kids?', movieinfo, reviewcontent) = 'Yes' "
+    "AND reviewtype = 'Fresh' "
+    "AND LLM('Is this title catchy? Yes or No.', movietitle) = 'Yes' "
+    "LIMIT 5"
+)
+
+
+def run_explain(sql: Optional[str], scale: Optional[float], seed: int) -> str:
+    """Build the Movies demo catalog and render the optimized plan."""
+    from repro.bench.reporting import default_scale
+    from repro.data import build_dataset
+    from repro.relational import Database
+
+    ds = build_dataset("movies", scale=scale or default_scale(0.01), seed=seed)
+    db = Database()
+    db.register("movies", ds.table, fds=ds.fds)
+    return db.explain(sql or EXPLAIN_DEMO_SQL)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -41,6 +75,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        return 0
+
+    if args.experiment == "explain":
+        text = run_explain(args.sql, args.scale, args.seed)
+        print(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

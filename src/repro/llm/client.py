@@ -96,6 +96,11 @@ class SimulatedLLMClient:
             memo[text] = entry
         return entry
 
+    def count_tokens(self, text: str) -> int:
+        """Memoized token count of ``text`` — the public counting API used
+        by the LLM operator's dedup/telemetry accounting."""
+        return self._count_cached(text)
+
     def _count_cached(self, text: str) -> int:
         memo = self._count_memo
         n = memo.get(text)

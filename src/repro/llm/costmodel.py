@@ -21,6 +21,26 @@ from repro.llm.hardware import Cluster
 from repro.llm.models import ModelSpec
 from repro.errors import ServingError
 
+#: Average characters per token of English-like text under the simulator's
+#: tokenizer (HashTokenizer: ~one piece per word at max_piece_len=6), the
+#: same ~4 chars/token scale real BPE vocabularies land on. Used wherever a
+#: token count is needed without running a tokenizer (the SQL optimizer's
+#: plan-time estimates, solver-only telemetry).
+CHARS_PER_TOKEN = 4.0
+
+
+def estimate_tokens(chars: float, chars_per_token: float = CHARS_PER_TOKEN) -> int:
+    """Character-count-based token estimate for planning and telemetry.
+
+    Deliberately tokenizer-free: the SQL optimizer ranks predicates before
+    any prompt exists, and solver-only runs have no client to count with.
+    """
+    if chars_per_token <= 0:
+        raise ServingError(f"chars_per_token must be positive, got {chars_per_token}")
+    if chars <= 0:
+        return 0
+    return max(1, int(round(chars / chars_per_token)))
+
 
 @dataclass(frozen=True)
 class CostModel:

@@ -33,6 +33,9 @@ class JobStats:
     block_tokens: int = 0
     peak_kv_blocks: int = 0
     fragmentation_tokens: int = 0
+    #: Distinct prompt strings in the job — the dedup headroom an
+    #: LLM-aware SQL layer would exploit (== n_requests when all differ).
+    n_distinct_prompts: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -128,6 +131,7 @@ class BatchInferenceServer:
                 block_tokens=er.block_tokens,
                 peak_kv_blocks=er.peak_kv_blocks,
                 fragmentation_tokens=er.fragmentation_tokens,
+                n_distinct_prompts=len(set(prompts)),
             )
         )
         return result
@@ -141,12 +145,13 @@ class BatchInferenceServer:
     def report(self) -> str:
         """Operator-style text report."""
         lines = [
-            "job            reqs   prompt_tok  hit%    out_tok   seconds"
+            "job            reqs  distinct   prompt_tok  hit%    out_tok   seconds"
             "  kv_blocks  frag_tok"
         ]
         for j in self.stats.jobs:
             lines.append(
-                f"{j.job_id:<14} {j.n_requests:>5}  {j.prompt_tokens:>10}  "
+                f"{j.job_id:<14} {j.n_requests:>5}  {j.n_distinct_prompts:>8}  "
+                f"{j.prompt_tokens:>10}  "
                 f"{100 * j.hit_rate:5.1f}%  {j.output_tokens:>7}  {j.seconds:8.2f}"
                 f"  {j.peak_kv_blocks:>9}  {j.fragmentation_tokens:>8}"
             )

@@ -19,6 +19,14 @@ from repro.relational.expressions import (
     Or,
 )
 from repro.relational.llm_functions import LLMCallStats, LLMRuntime
+from repro.relational.optimizer import (
+    OptimizerConfig,
+    OptimizedPlan,
+    explain_plan,
+    explain_sql,
+    optimize_plan,
+    sql_opt_enabled,
+)
 from repro.relational.table import Table
 
 __all__ = [
@@ -34,4 +42,10 @@ __all__ = [
     "LLMExpr",
     "LLMRuntime",
     "LLMCallStats",
+    "OptimizerConfig",
+    "OptimizedPlan",
+    "optimize_plan",
+    "explain_plan",
+    "explain_sql",
+    "sql_opt_enabled",
 ]

@@ -21,6 +21,12 @@ from repro.core.stats import TableStats
 from repro.errors import SchemaError
 from repro.relational.expressions import ExecutionContext
 from repro.relational.llm_functions import LLMRuntime
+from repro.relational.optimizer import (
+    DEFAULT_OPTIMIZER_CONFIG,
+    OptimizerConfig,
+    explain_plan,
+    optimize_plan,
+)
 from repro.relational.table import Table
 
 
@@ -71,11 +77,19 @@ class Catalog:
 
 
 class Database:
-    """SQL-facing facade over the catalog and an LLM runtime."""
+    """SQL-facing facade over the catalog, an LLM runtime, and the SQL
+    optimizer (``optimizer_config`` defaults to the ``REPRO_SQL_OPT``-gated
+    rewrites; pass ``OptimizerConfig(enabled=False)`` for the unoptimized
+    reference plans)."""
 
-    def __init__(self, runtime: Optional[LLMRuntime] = None):
+    def __init__(
+        self,
+        runtime: Optional[LLMRuntime] = None,
+        optimizer_config: OptimizerConfig = DEFAULT_OPTIMIZER_CONFIG,
+    ):
         self.catalog = Catalog()
         self.runtime = runtime or LLMRuntime()
+        self.optimizer_config = optimizer_config
 
     def register(
         self,
@@ -91,7 +105,7 @@ class Database:
         )
 
     def sql(self, query: str) -> Table:
-        """Parse, plan, and execute a SQL string.
+        """Parse, plan, optimize, and execute a SQL string.
 
         The FDs of every catalog table the plan scans are merged and made
         available to LLM operators via the execution context (the runtime's
@@ -102,4 +116,17 @@ class Database:
         merged = FunctionalDependencies.empty()
         for name in collect_scan_names(plan):
             merged = merged.merge(self.catalog.get_fds(name))
+        plan = optimize_plan(
+            plan, catalog=self.catalog, config=self.optimizer_config
+        ).plan
         return plan.execute(self.context(fds=merged if len(merged) else None))
+
+    def explain(self, query: str) -> str:
+        """Render the optimized plan for ``query`` without executing it:
+        the tree, the rewrites that fired, and the estimated LLM prompt
+        tokens per operator."""
+        from repro.relational.sql import plan_sql
+
+        return explain_plan(
+            plan_sql(query), catalog=self.catalog, config=self.optimizer_config
+        )

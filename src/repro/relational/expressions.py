@@ -25,6 +25,24 @@ class Expr:
         return set()
 
 
+#: Attribute names that hold sub-expressions across every node type
+#: (including :class:`~repro.relational.sql.nodes.AggCall`'s ``arg``).
+_SUB_EXPR_ATTRS = ("left", "right", "child", "arg")
+
+
+def iter_sub_expressions(expr: Expr):
+    """Yield the direct sub-expressions of ``expr``.
+
+    The generic traversal used by the planner (aggregate detection) and
+    the optimizer (LLM detection, predicate ranking) — one place to update
+    when a new composite node type is added.
+    """
+    for attr in _SUB_EXPR_ATTRS:
+        sub = getattr(expr, attr, None)
+        if isinstance(sub, Expr):
+            yield sub
+
+
 @dataclass(frozen=True)
 class Col(Expr):
     """Column reference; ``qualifier.name`` resolves to ``name``."""

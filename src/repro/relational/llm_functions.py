@@ -4,36 +4,58 @@
 query. It:
 
 1. projects the touched fields into a :class:`ReorderTable`;
-2. runs the configured reordering policy (GGR by default, with the source
-   table's functional dependencies);
-3. serializes one JSON prompt per scheduled row (Appendix C format);
-4. obtains the answer text for each row from the ``answerer`` — the
+2. looks up rows whose ``(query, cells)`` were already answered by an
+   earlier call (the cross-call **answer memo** — multi-stage queries that
+   re-ask the same rows hit memory instead of the engine);
+3. **deduplicates** the remaining rows on their projected cell tuple: a
+   model is a function of its prompt, so only distinct inputs are solved
+   and served — query cost is proportional to *distinct* LLM inputs, not
+   rows (§3's input dedup optimization);
+4. runs the configured reordering policy (GGR by default, with the source
+   table's functional dependencies) over the distinct rows;
+5. serializes one JSON prompt per scheduled row (Appendix C format);
+6. obtains the answer text for each row from the ``answerer`` — the
    simulated model behaviour supplied by the dataset/task (or a judge for
    accuracy studies, which sees the *scheduled* cell order, so position
    effects are faithfully modelled);
-5. optionally replays the prompt schedule through the serving simulator to
+7. optionally replays the prompt schedule through the serving simulator to
    charge realistic time and measure the achieved prefix hit rate;
-6. scatters answers back to the original row order — reordering never
-   changes query semantics.
+8. scatters answers back to the original row order — reordering, dedup,
+   and memoization never change query semantics.
+
+Dedup and the memo assume the answerer is a function of the ``(query,
+cell values)`` pair — the defined behaviour of a deduplicating system: a
+group of identical rows is served by its representative's single prompt.
+A *simulated* answerer that is sensitive to the scheduled cell order or
+to ``row_id`` (e.g. a position-effect judge in an accuracy study over a
+table with duplicate projected rows) can observe the collapse; run such
+studies with ``LLMRuntime(dedup=False, memo=False)`` — or
+``REPRO_SQL_OPT=0``, which restores the one-call-per-row reference path
+everywhere (the equivalence oracle for the optimizer test suite).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.fd import FunctionalDependencies
 from repro.core.ggr import GGRConfig
 from repro.core.reorder import ReorderResult, reorder
-from repro.core.table import Cell
+from repro.core.table import Cell, ReorderTable, Row
 from repro.llm.client import SimulatedLLMClient
+from repro.llm.costmodel import estimate_tokens
 from repro.llm.engine import EngineResult
 from repro.llm.prompts import build_prompt
 from repro.relational.expressions import LLMExpr
+from repro.relational.optimizer import sql_opt_enabled
 from repro.relational.table import Table
 
 #: Signature of a simulated model: (query, cells in prompt order, row id) -> text.
 Answerer = Callable[[str, Tuple[Cell, ...], int], str]
+
+#: One memo entry: (query, projected field names, projected cell values).
+MemoKey = Tuple[str, Tuple[str, ...], Row]
 
 
 def default_answerer(query: str, cells: Tuple[Cell, ...], row_id: int) -> str:
@@ -52,6 +74,15 @@ class LLMCallStats:
     exact_phc: int
     schedule_phr: float
     engine_result: Optional[EngineResult] = None
+    #: Rows actually solved/served after memo lookups and dedup.
+    n_distinct: int = 0
+    #: Rows answered from the cross-call memo (no solve, no engine).
+    memo_hits: int = 0
+    #: Prompt tokens the duplicate rows would have sent without dedup.
+    dedup_saved_prompt_tokens: int = 0
+    #: Token volume of the prompts actually scheduled (exact counts when a
+    #: client is attached, char-based estimates otherwise).
+    scheduled_prompt_tokens: int = 0
 
     @property
     def engine_seconds(self) -> float:
@@ -81,6 +112,10 @@ class LLMRuntime:
         the touched fields).
     answerer:
         Simulated model behaviour; see :data:`Answerer`.
+    dedup / memo:
+        Input dedup and the cross-call answer memo. ``None`` (default)
+        follows the ``REPRO_SQL_OPT`` gate; explicit ``True``/``False``
+        override it per runtime.
     """
 
     client: Optional[SimulatedLLMClient] = None
@@ -89,7 +124,26 @@ class LLMRuntime:
     ggr_config: Optional[GGRConfig] = None
     answerer: Answerer = default_answerer
     validate: bool = False
+    dedup: Optional[bool] = None
+    memo: Optional[bool] = None
     calls: List[LLMCallStats] = field(default_factory=list)
+    answer_memo: Dict[MemoKey, str] = field(default_factory=dict, repr=False)
+
+    #: Bounded memo size (FIFO eviction), matching the client's memo policy.
+    _MEMO_MAX = 1 << 16
+
+    @property
+    def dedup_enabled(self) -> bool:
+        return sql_opt_enabled() if self.dedup is None else self.dedup
+
+    @property
+    def memo_enabled(self) -> bool:
+        return sql_opt_enabled() if self.memo is None else self.memo
+
+    def _count_tokens(self, text: str) -> int:
+        if self.client is not None:
+            return self.client.count_tokens(text)
+        return estimate_tokens(len(text))
 
     def execute(
         self,
@@ -102,10 +156,55 @@ class LLMRuntime:
         when the runtime has none of its own."""
         fields = expr.expanded_fields(table)
         sub = table.to_reorder_table(fields)
+        n_rows = table.n_rows
+        answers: List[Optional[str]] = [None] * n_rows
+
+        # 1. Cross-call memo: rows already answered by an earlier call.
+        memo_on = self.memo_enabled
+        memo_hits = 0
+        pending: List[int] = []
+        if memo_on and self.answer_memo:
+            for i, row in enumerate(sub.rows):
+                hit = self.answer_memo.get((expr.query, sub.fields, row))
+                if hit is None:
+                    pending.append(i)
+                else:
+                    answers[i] = hit
+                    memo_hits += 1
+        else:
+            pending = list(range(n_rows))
+
+        # 2. Dedup: group the remaining rows by their projected cell tuple;
+        # only group representatives are solved and served.
+        groups: List[List[int]]
+        reps: List[int]
+        if self.dedup_enabled:
+            slot_of: Dict[Row, int] = {}
+            groups, reps = [], []
+            for i in pending:
+                row = sub.rows[i]
+                slot = slot_of.get(row)
+                if slot is None:
+                    slot_of[row] = len(groups)
+                    groups.append([i])
+                    reps.append(i)
+                else:
+                    groups[slot].append(i)
+        else:
+            groups = [[i] for i in pending]
+            reps = list(pending)
+
+        # 3. Reorder only the distinct pending rows. When nothing was
+        # collapsed, solve the original view so the oracle path
+        # (dedup/memo off) is byte-identical to the pre-optimizer code.
+        if len(reps) == n_rows:
+            solve = sub
+        else:
+            solve = ReorderTable(fields, [sub.rows[i] for i in reps])
         effective_fds = self.fds if self.fds is not None else fds
         fds = effective_fds.restrict(fields) if effective_fds is not None else None
         result: ReorderResult = reorder(
-            sub,
+            solve,
             policy=self.policy,
             fds=fds,
             config=self.ggr_config,
@@ -116,29 +215,47 @@ class LLMRuntime:
         answers_scheduled: List[str] = []
         for row in result.schedule.rows:
             prompts.append(build_prompt(expr.query, row.cells))
-            answers_scheduled.append(self.answerer(expr.query, row.cells, row.row_id))
+            answers_scheduled.append(
+                self.answerer(expr.query, row.cells, reps[row.row_id])
+            )
 
         engine_result = None
         if self.client is not None and prompts:
             batch = self.client.generate(prompts, outputs=answers_scheduled)
             engine_result = batch.engine_result
 
+        # 4. Scatter each distinct answer to every row of its group and
+        # remember it for later calls.
+        scheduled_tokens = 0
+        dedup_saved = 0
+        for row, prompt, text in zip(result.schedule.rows, prompts, answers_scheduled):
+            group = groups[row.row_id]
+            for i in group:
+                answers[i] = text
+            n_tokens = self._count_tokens(prompt)
+            scheduled_tokens += n_tokens
+            dedup_saved += (len(group) - 1) * n_tokens
+            if memo_on:
+                if len(self.answer_memo) >= self._MEMO_MAX:
+                    self.answer_memo.pop(next(iter(self.answer_memo)))
+                self.answer_memo[(expr.query, sub.fields, sub.rows[group[0]])] = text
+
         self.calls.append(
             LLMCallStats(
                 query=expr.query,
-                n_rows=table.n_rows,
+                n_rows=n_rows,
                 policy=self.policy,
                 solver_seconds=result.solver_seconds,
                 exact_phc=result.exact_phc,
                 schedule_phr=result.exact_phr,
                 engine_result=engine_result,
+                n_distinct=len(reps),
+                memo_hits=memo_hits,
+                dedup_saved_prompt_tokens=dedup_saved,
+                scheduled_prompt_tokens=scheduled_tokens,
             )
         )
-
-        answers = [""] * table.n_rows
-        for row, text in zip(result.schedule.rows, answers_scheduled):
-            answers[row.row_id] = text
-        return answers
+        return answers  # type: ignore[return-value]  # every slot is filled above
 
     # ------------------------------------------------------------- rollups
     @property
@@ -150,11 +267,29 @@ class LLMRuntime:
         return sum(c.solver_seconds for c in self.calls)
 
     @property
+    def total_dedup_saved_prompt_tokens(self) -> int:
+        return sum(c.dedup_saved_prompt_tokens for c in self.calls)
+
+    @property
+    def total_memo_hits(self) -> int:
+        return sum(c.memo_hits for c in self.calls)
+
+    @property
     def overall_phr(self) -> float:
-        """Prompt-token-weighted PHR across all calls."""
-        num = den = 0
+        """Prompt-token-weighted PHR across all calls.
+
+        Calls that ran through the serving engine contribute their measured
+        token-level figures; calls without an engine (solver-only runs)
+        fall back to the schedule-level PHR weighted by their scheduled
+        prompt-token volume, so the rollup is meaningful either way instead
+        of silently dropping engine-less calls.
+        """
+        num = den = 0.0
         for c in self.calls:
             if c.engine_result is not None:
                 num += c.engine_result.cached_tokens
                 den += c.engine_result.prompt_tokens
+            else:
+                num += c.schedule_phr * c.scheduled_prompt_tokens
+                den += c.scheduled_prompt_tokens
         return num / den if den else 0.0

@@ -136,6 +136,12 @@ class Aggregate(PlanNode):
         for fn, _, _ in self.aggs:
             if fn not in _AGG_FNS:
                 raise SQLError(f"unsupported aggregate function {fn!r}")
+        # The planner rejects alias collisions at plan time; hand-built
+        # Aggregate nodes get the same guard here — colliding names would
+        # silently interleave group keys and aggregate values.
+        aliases = [alias for _, _, alias in self.aggs]
+        if len(set(aliases)) != len(aliases):
+            raise SchemaError(f"duplicate aggregate aliases in {aliases!r}")
         evaluated = [(fn, expr.eval(table, ctx), alias) for fn, expr, alias in self.aggs]
 
         if not self.group_by:
@@ -143,6 +149,12 @@ class Aggregate(PlanNode):
             return Table(cols, name=table.name)
 
         group_cols = [Col(g).resolve(table) for g in self.group_by]
+        collisions = set(group_cols) & set(aliases)
+        if collisions:
+            raise SchemaError(
+                f"aggregate aliases {sorted(collisions)} collide with GROUP BY "
+                "columns; pick different aliases"
+            )
         keys: Dict[Tuple[Any, ...], List[int]] = {}
         for i in range(table.n_rows):
             key = tuple(table.column(c)[i] for c in group_cols)

@@ -24,6 +24,11 @@ class AggCall(Expr):
     def eval(self, table, ctx=None):  # pragma: no cover - planner lifts these
         raise NotImplementedError("aggregate calls are handled by the planner")
 
+    def referenced_columns(self, table):
+        # The base class returns the empty set; an aggregate reads whatever
+        # its argument reads (schema checks and the optimizer rely on this).
+        return self.arg.referenced_columns(table)
+
 
 @dataclass(frozen=True)
 class Star(Expr):

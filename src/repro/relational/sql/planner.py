@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
-from repro.errors import SQLError
-from repro.relational.expressions import Col, Expr, LLMExpr
+from repro.errors import SchemaError, SQLError
+from repro.relational.expressions import Col, Expr, LLMExpr, iter_sub_expressions
 from repro.relational.operators import (
     Aggregate,
     CatalogScan,
@@ -49,11 +49,7 @@ def _default_alias(expr: Expr, index: int) -> str:
 def _contains_agg(expr: Expr) -> bool:
     if isinstance(expr, AggCall):
         return True
-    for attr in ("left", "right", "child", "arg"):
-        sub = getattr(expr, attr, None)
-        if isinstance(sub, Expr) and _contains_agg(sub):
-            return True
-    return False
+    return any(_contains_agg(sub) for sub in iter_sub_expressions(expr))
 
 
 def _plan_source(stmt: SelectStmt) -> PlanNode:
@@ -80,11 +76,24 @@ def plan_statement(stmt: SelectStmt) -> PlanNode:
 
     has_agg = any(_contains_agg(item.expr) for item in stmt.items)
     if has_agg:
+        # Group keys and aggregate values become sibling output columns, so
+        # name collisions would silently interleave them into a corrupt
+        # table at execution time — reject them here, at plan time.
+        group_names = set(stmt.group_by) | {g.split(".")[-1] for g in stmt.group_by}
         aggs: List[Tuple[str, Expr, str]] = []
+        seen_aliases: set = set()
         for i, item in enumerate(stmt.items):
             expr = item.expr
             if isinstance(expr, AggCall):
                 alias = item.alias or _default_alias(expr, i)
+                if alias in group_names:
+                    raise SchemaError(
+                        f"aggregate alias {alias!r} collides with a GROUP BY "
+                        "column; pick a different alias"
+                    )
+                if alias in seen_aliases:
+                    raise SchemaError(f"duplicate aggregate alias {alias!r}")
+                seen_aliases.add(alias)
                 aggs.append((expr.fn, expr.arg, alias))
             elif isinstance(expr, Col) and expr.name in stmt.group_by:
                 continue  # group keys come through automatically

@@ -25,3 +25,25 @@ class TestCLI:
         assert main(["table1", "--scale", "0.004", "--out", str(path)]) == 0
         assert "Table 1" in path.read_text()
         capsys.readouterr()
+
+    def test_explain_default_demo(self, capsys):
+        from repro.relational import sql_opt_enabled
+
+        assert main(["explain", "--scale", "0.004"]) == 0
+        out = capsys.readouterr().out
+        if sql_opt_enabled():
+            assert "rewrites:" in out
+        else:  # REPRO_SQL_OPT=0 CI run: the unoptimized oracle plan
+            assert "optimizer disabled" in out
+        assert "Filter[LLM]" in out
+        assert "CatalogScan(movies)" in out
+
+    def test_explain_custom_sql_and_out(self, tmp_path, capsys):
+        path = tmp_path / "plan.txt"
+        sql = "SELECT movietitle FROM movies WHERE reviewtype = 'Fresh' LIMIT 3"
+        assert main(
+            ["explain", "--scale", "0.004", "--sql", sql, "--out", str(path)]
+        ) == 0
+        text = path.read_text()
+        assert "Limit(3)" in text and "reviewtype = 'Fresh'" in text
+        capsys.readouterr()

@@ -87,6 +87,17 @@ class TestRunQuery:
         res = run_query(get_query("movies-T3"), movies, CACHE_GGR)
         assert res.n_llm_calls == 2
 
+    def test_dedup_telemetry_plumbed(self, movies):
+        """RunResult surfaces the SQL-optimizer telemetry; the paper's
+        benchmark rows are distinct on their touched fields, so dedup is a
+        no-op there (n_distinct == rows solved, nothing saved)."""
+        q = get_query("movies-T1")
+        res = run_query(q, movies, CACHE_GGR, seed=0)
+        assert res.n_distinct_llm_rows == res.n_rows
+        assert res.dedup_saved_prompt_tokens == 0
+        assert res.memo_hits == 0
+        assert res.dedup_savings == 0.0
+
     def test_policy_ordering_holds(self, movies):
         res = run_policies(get_query("movies-T1"), movies)
         assert (

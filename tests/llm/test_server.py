@@ -19,6 +19,16 @@ class TestJobs:
         assert j.n_requests == 4
         assert j.prompt_tokens > 0
         assert j.seconds > 0
+        # Four identical prompts: one distinct — the dedup headroom an
+        # LLM-aware SQL layer would exploit.
+        assert j.n_distinct_prompts == 1
+        assert server.job("job-1").n_distinct_prompts == 1
+
+    def test_distinct_prompts_counted_and_reported(self):
+        server = BatchInferenceServer()
+        server.submit_job("d", prompts("x"), output_lens=[1] * 5)
+        assert server.job("d").n_distinct_prompts == 5
+        assert "distinct" in server.report()
 
     def test_cache_persists_across_jobs(self):
         server = BatchInferenceServer()
