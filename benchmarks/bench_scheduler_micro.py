@@ -1,0 +1,169 @@
+"""Micro-benchmarks of the online serving layer: arrival-timed trace
+replay under each scheduling policy, on a 3-tenant interleaved workload.
+
+The workload is the adversarial shape for a shared prefix cache: three
+tenants whose prompts share a long per-tenant header, arriving
+interleaved (round-robin with a small stagger) under a KV capacity that
+holds roughly one tenant's working set. FCFS admits in arrival order and
+thrashes the cache on every tenant switch; prefix-affinity admits
+requests that extend currently-cached radix paths, recovering the
+paper's prefix-sharing win under contention. The acceptance bar is
+asserted in ``bench_trace_prefix_affinity``: >= 1.2x the FCFS prefix hit
+rate (measured, not assumed). Every policy records its p95 TTFT in the
+benchmark's extra info.
+"""
+
+from conftest import run_once
+
+from repro.llm.client import SimulatedLLMClient
+from repro.llm.engine import EngineConfig
+from repro.llm.scheduler import serving_online_enabled
+from repro.llm.workload import TraceRequest, WorkloadTrace
+
+#: Tight-but-feasible serving point for the contention trace below: the
+#: KV pool fits ~two tenants' subtrees plus in-flight work (three don't
+#: fit), so cross-tenant interleaving forces evictions while same-tenant
+#: runs stay cached — FCFS lands ~0.32 PHR, prefix-affinity ~0.97.
+_CONTENTION_CFG = dict(max_batch_size=2, kv_capacity_tokens=950)
+
+
+def _three_tenant_trace(n_per_tenant=40, header_words=300, stagger_s=0.002):
+    """Round-robin interleaved arrivals from 3 tenants; each tenant's
+    prompts share a long header and differ in a short suffix. Headers
+    lead with a tenant-distinct piece so cross-tenant prompts diverge at
+    token 0 — each tenant is a separate radix subtree, the clean
+    cache-contention shape."""
+    headers = {
+        t: " ".join(f"{t}hd{j}" for j in range(header_words)) for t in "ABC"
+    }
+    reqs = []
+    for i in range(3 * n_per_tenant):
+        tenant = "ABC"[i % 3]
+        reqs.append(
+            TraceRequest(
+                arrival_s=i * stagger_s,
+                prompt=f"{headers[tenant]} row {i} detail {(i * 7) % 101}",
+                tenant=tenant,
+                output_len=6,
+            )
+        )
+    return WorkloadTrace(reqs, name="3-tenant-interleaved")
+
+
+def _replay(trace, policy, **cfg):
+    client = SimulatedLLMClient(
+        engine_config=EngineConfig(scheduler=policy, **cfg)
+    )
+    return client.generate_trace(trace, deadline_s=60.0)
+
+
+def _record(benchmark, res):
+    s = res.slo
+    benchmark.extra_info["scheduler"] = res.scheduler
+    benchmark.extra_info["prefix_hit_rate"] = round(res.prefix_hit_rate, 4)
+    benchmark.extra_info["p50_ttft_s"] = round(s.ttft.p50, 4)
+    benchmark.extra_info["p95_ttft_s"] = round(s.ttft.p95, 4)
+    benchmark.extra_info["p99_ttft_s"] = round(s.ttft.p99, 4)
+    benchmark.extra_info["e2e_p95_s"] = round(s.e2e.p95, 4)
+    benchmark.extra_info["goodput_attainment"] = round(s.attainment, 4)
+    benchmark.extra_info["makespan_s"] = round(res.total_seconds, 3)
+
+
+def bench_trace_fcfs(benchmark):
+    """FCFS baseline on the interleaved trace: every tenant switch pays a
+    cold prefill once the cache is contended."""
+    trace = _three_tenant_trace()
+    res = run_once(benchmark, lambda: _replay(trace, "fcfs", **_CONTENTION_CFG))
+    assert res.slo.n_requests == trace.n_requests
+    _record(benchmark, res)
+
+
+def bench_trace_sjf(benchmark):
+    """Shortest-prompt-first on the same trace (prompt lengths are nearly
+    uniform here, so this mostly tracks FCFS — recorded for the p95 TTFT
+    comparison row)."""
+    trace = _three_tenant_trace()
+    res = run_once(benchmark, lambda: _replay(trace, "sjf", **_CONTENTION_CFG))
+    _record(benchmark, res)
+
+
+def bench_trace_fair_share(benchmark):
+    """Per-tenant deficit round-robin: fairness-bounded interleaving —
+    cache behaviour close to FCFS, but no tenant can starve another."""
+    trace = _three_tenant_trace()
+    res = run_once(
+        benchmark, lambda: _replay(trace, "fair-share", **_CONTENTION_CFG)
+    )
+    _record(benchmark, res)
+
+
+def bench_trace_prefix_affinity(benchmark):
+    """Prefix-affinity on the interleaved trace, with the acceptance bar:
+    >= 1.2x the FCFS prefix hit rate (only asserted when the online layer
+    is enabled — under REPRO_SERVING_ONLINE=0 every policy is FCFS)."""
+    trace = _three_tenant_trace()
+    baseline = _replay(trace, "fcfs", **_CONTENTION_CFG)
+    res = run_once(
+        benchmark, lambda: _replay(trace, "prefix-affinity", **_CONTENTION_CFG)
+    )
+    _record(benchmark, res)
+    benchmark.extra_info["fcfs_prefix_hit_rate"] = round(
+        baseline.prefix_hit_rate, 4
+    )
+    if serving_online_enabled():
+        assert res.prefix_hit_rate >= 1.2 * max(
+            baseline.prefix_hit_rate, 1e-9
+        ), (
+            f"prefix-affinity PHR {res.prefix_hit_rate:.3f} vs fcfs "
+            f"{baseline.prefix_hit_rate:.3f}: below the 1.2x bar"
+        )
+        assert res.slo.ttft.p95 <= baseline.slo.ttft.p95
+    else:
+        assert res.scheduler == "fcfs"
+
+
+def bench_trace_offline_gate_overhead(benchmark):
+    """The online machinery at its degenerate point — all arrivals at
+    t=0, fcfs — costs nothing over the offline batch path (same engine
+    loop, one extra no-op arrival release per admission)."""
+    trace = _three_tenant_trace(stagger_s=0.0)
+    res = run_once(benchmark, lambda: _replay(trace, "fcfs", **_CONTENTION_CFG))
+    assert all(
+        m.arrival_s == 0.0 for m in res.engine_result.request_metrics
+    )
+    _record(benchmark, res)
+
+
+def bench_trace_bursty_fair_share(benchmark):
+    """Fair-share under MMPP-style bursts: a bursty foreground tenant
+    against a steady background tenant — the DRR quantum bounds how far
+    the burst can push the background tenant's p95 TTFT."""
+    from repro.llm.workload import bursty_arrivals, poisson_arrivals
+
+    fg = bursty_arrivals(
+        60, on_rate_rps=400.0, on_mean_s=0.05, off_mean_s=0.3, seed=11
+    )
+    bg = poisson_arrivals(40, 25.0, seed=12)
+    header_fg = " ".join(f"fghdr{j}" for j in range(150))
+    header_bg = " ".join(f"bghdr{j}" for j in range(150))
+    reqs = [
+        TraceRequest(t, f"{header_fg} burst row {i}", tenant="burst", output_len=4)
+        for i, t in enumerate(fg)
+    ] + [
+        TraceRequest(t, f"{header_bg} steady row {i}", tenant="steady", output_len=4)
+        for i, t in enumerate(bg)
+    ]
+    trace = WorkloadTrace(reqs, name="bursty-vs-steady")
+    res = run_once(
+        benchmark,
+        lambda: _replay(trace, "fair-share", max_batch_size=4,
+                        kv_capacity_tokens=1600),
+    )
+    _record(benchmark, res)
+    per_tenant = res.slo.per_tenant
+    benchmark.extra_info["steady_p95_ttft_s"] = round(
+        per_tenant["steady"].ttft.p95, 4
+    )
+    benchmark.extra_info["burst_p95_ttft_s"] = round(
+        per_tenant["burst"].ttft.p95, 4
+    )

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.bench.reporting import percentile
 from repro.errors import ReproError
 
 
@@ -70,10 +71,12 @@ def compare_orderings(
     dist_b = bootstrap_accuracy(correct_b, n_boot=n_boot, seed=seed + 1)
     lo = (1 - ci) / 2 * 100
     hi = 100 - lo
+    # Nearest-rank percentiles (shared helper with the serving-latency
+    # reports): every bound is an accuracy the bootstrap actually produced.
     return OrderingComparison(
-        median_a=float(np.median(dist_a)),
-        median_b=float(np.median(dist_b)),
-        ci_a=(float(np.percentile(dist_a, lo)), float(np.percentile(dist_a, hi))),
-        ci_b=(float(np.percentile(dist_b, lo)), float(np.percentile(dist_b, hi))),
+        median_a=percentile(dist_a, 50),
+        median_b=percentile(dist_b, 50),
+        ci_a=(percentile(dist_a, lo), percentile(dist_a, hi)),
+        ci_b=(percentile(dist_b, lo), percentile(dist_b, hi)),
         n_boot=n_boot,
     )

@@ -3,9 +3,48 @@ prints, with a paper-reported column next to the measured one."""
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _nearest_rank(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank pick from an already-sorted, non-empty series."""
+    if q == 0:
+        return sorted_vals[0]
+    return sorted_vals[math.ceil(q / 100.0 * len(sorted_vals)) - 1]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The nearest-rank definition always returns an actual observation —
+    the right choice for latency SLOs (a reported p99 is a latency some
+    request really saw) and for bootstrap confidence bounds. Empty input
+    returns 0.0 (empty-safe for zero-request traces), out-of-range ``q``
+    raises.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return 0.0
+    return _nearest_rank(vals, q)
+
+
+def latency_percentiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(p50, p95, p99) of one latency series, sorting it once — the
+    triple every serving report prints. Empty-safe like
+    :func:`percentile`."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return (0.0, 0.0, 0.0)
+    return (
+        _nearest_rank(vals, 50),
+        _nearest_rank(vals, 95),
+        _nearest_rank(vals, 99),
+    )
 
 
 def fmt_speedup(baseline_seconds: float, new_seconds: float) -> str:

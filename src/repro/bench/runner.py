@@ -16,6 +16,7 @@ from repro.errors import ReproError
 from repro.llm.client import SimulatedLLMClient
 from repro.llm.engine import EngineConfig
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
+from repro.llm.scheduler import compute_slo
 from repro.llm.models import LLAMA3_8B, ModelSpec
 from repro.relational.expressions import LLMExpr
 from repro.relational.llm_functions import LLMRuntime
@@ -99,6 +100,13 @@ class RunResult:
     n_distinct_llm_rows: int = 0
     dedup_saved_prompt_tokens: int = 0
     memo_hits: int = 0
+    #: SLO accounting over every request the query's engine calls served
+    #: (arrival-relative nearest-rank percentiles; offline runs stamp the
+    #: whole batch as arriving at call submission, so these are plain
+    #: latency percentiles there). Zero for engine-less (solver-only) runs.
+    queueing_p95_s: float = 0.0
+    ttft_p95_s: float = 0.0
+    e2e_p95_s: float = 0.0
 
     @property
     def dedup_savings(self) -> float:
@@ -222,9 +230,11 @@ def run_query(
     peak = batch = peak_blocks = frag = blk = 0
     acct = "tokens"
     sched_num = sched_den = 0.0
+    request_metrics = []
     for call in runtime.calls:
         er = call.engine_result
         if er is not None:
+            request_metrics.extend(er.request_metrics)
             prompt_tokens += er.prompt_tokens
             cached_tokens += er.cached_tokens
             prefill_tokens += er.prefill_tokens
@@ -244,6 +254,7 @@ def run_query(
         weight = er.prompt_tokens if er is not None else call.scheduled_prompt_tokens
         sched_num += call.schedule_phr * weight
         sched_den += weight
+    slo = compute_slo(request_metrics, by_tenant=False)
     return RunResult(
         query_id=query.query_id,
         dataset=dataset.name,
@@ -269,6 +280,9 @@ def run_query(
         n_distinct_llm_rows=sum(c.n_distinct for c in runtime.calls),
         dedup_saved_prompt_tokens=runtime.total_dedup_saved_prompt_tokens,
         memo_hits=runtime.total_memo_hits,
+        queueing_p95_s=slo.queueing.p95,
+        ttft_p95_s=slo.ttft.p95,
+        e2e_p95_s=slo.e2e.p95,
     )
 
 

@@ -9,6 +9,12 @@ plan for a query over the Movies demo catalog: the rewrites that fired
 (non-LLM filters pushed below LLM filters, LLM predicates reordered by
 estimated tokens x selectivity, LIMIT pushed below projections) and the
 estimated LLM prompt tokens per operator.
+
+``repro serve-trace`` demos the online serving layer: it synthesizes (or
+loads, ``--trace``) a 3-tenant arrival-timed workload over the benchmark
+query suite and replays it under every scheduling policy (``--policy``
+narrows the set), printing prefix hit rate, p50/p95/p99 TTFT and goodput
+per policy plus a per-tenant SLO table.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', or 'explain'",
+        help="experiment name, 'all', 'list', 'explain', or 'serve-trace'",
     )
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale factor (1.0 = paper size)")
@@ -41,6 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sql", type=str, default=None,
                         help="SQL for 'repro explain' (default: a demo "
                              "multi-predicate LLM query over Movies)")
+    parser.add_argument("--policy", type=str, default=None,
+                        help="comma-separated scheduler policies for "
+                             "'repro serve-trace' (default: all)")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="JSON workload trace file for 'repro "
+                             "serve-trace' (default: synthesize a 3-tenant "
+                             "mix over the query suite)")
+    parser.add_argument("--requests", type=int, default=90,
+                        help="synthesized trace length for 'repro "
+                             "serve-trace'")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="arrival rate (requests/s) for the "
+                             "synthesized trace")
+    parser.add_argument("--arrivals", type=str, default="poisson",
+                        help="arrival process for the synthesized trace: "
+                             "poisson, bursty, or diurnal")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request E2E deadline (s) for goodput "
+                             "accounting in 'repro serve-trace'")
+    parser.add_argument("--save-trace", type=str, default=None,
+                        help="also write the synthesized trace JSON here")
     return parser
 
 
@@ -69,6 +96,98 @@ def run_explain(sql: Optional[str], scale: Optional[float], seed: int) -> str:
     return db.explain(sql or EXPLAIN_DEMO_SQL)
 
 
+def run_serve_trace(args) -> str:
+    """Replay an arrival-timed trace under each scheduling policy and
+    render the policy comparison + per-tenant SLO tables."""
+    from repro.bench.reporting import default_scale
+    from repro.llm.client import SimulatedLLMClient
+    from repro.llm.engine import EngineConfig
+    from repro.llm.scheduler import SCHEDULER_POLICIES, serving_online_enabled
+    from repro.llm.workload import (
+        TenantSpec,
+        WorkloadTrace,
+        make_arrivals,
+        synthesize_tenant_trace,
+    )
+
+    scale = args.scale or default_scale(0.01)
+    policies = (
+        [p.strip() for p in args.policy.split(",") if p.strip()]
+        if args.policy
+        else list(SCHEDULER_POLICIES)
+    )
+    if args.trace:
+        trace = WorkloadTrace.load(args.trace)
+    else:
+        # Three tenants over real suite queries: two unordered streams that
+        # interleave against each other plus one GGR-reordered stream —
+        # the cross-tenant cache-interference shape the policies differ on.
+        tenants = [
+            TenantSpec("analytics", "movies-T1", policy="original", weight=1.0),
+            TenantSpec("reviews", "products-T1", policy="original", weight=1.0),
+            TenantSpec("curated", "movies-T2", policy="ggr", weight=0.5),
+        ]
+        rate = 40.0 if args.rate is None else args.rate
+        arrivals = make_arrivals(
+            args.arrivals, args.requests, rate, seed=args.seed
+        )
+        trace = synthesize_tenant_trace(
+            tenants, arrivals, scale=scale, seed=args.seed
+        )
+    if args.save_trace:
+        trace.save(args.save_trace)
+
+    lines = [
+        f"trace {trace.name!r}: {trace.n_requests} requests, "
+        f"{len(trace.tenants)} tenants "
+        f"({', '.join(trace.tenants)}), "
+        f"{trace.duration_s:.2f}s span, "
+        f"~{trace.offered_rate_rps():.1f} req/s offered"
+        + ("" if serving_online_enabled() else "  [REPRO_SERVING_ONLINE=0: "
+           "offline replay, fcfs only]"),
+        "",
+        "policy            phr     p50_ttft  p95_ttft  p99_ttft  e2e_p95"
+        "   goodput    makespan",
+    ]
+    last = None
+    for policy in policies:
+        client = SimulatedLLMClient(
+            engine_config=EngineConfig(scheduler=policy, max_batch_size=16)
+        )
+        res = client.generate_trace(trace, deadline_s=args.deadline)
+        s = res.slo
+        lines.append(
+            f"{res.scheduler:<16} {100 * res.prefix_hit_rate:5.1f}%  "
+            f"{s.ttft.p50:7.3f}s  {s.ttft.p95:7.3f}s  {s.ttft.p99:7.3f}s  "
+            f"{s.e2e.p95:7.3f}s  {100 * s.attainment:6.1f}%  "
+            f"{res.total_seconds:8.2f}s"
+        )
+        last = res
+    if last is not None:
+        lines.append("")
+        lines.append(last.slo.render(f"per-tenant SLO ({last.scheduler})"))
+    return "\n".join(lines)
+
+
+def _run_subcommand(name: str, runner, out: Optional[str]) -> int:
+    """Shared subcommand epilogue: user errors (malformed SQL, unknown
+    tables, bad trace files) become one line on stderr and a nonzero
+    exit — never a traceback; success prints and optionally tees to
+    ``out``."""
+    from repro.errors import ReproError
+
+    try:
+        text = runner()
+        print(text)
+        if out:
+            with open(out, "w") as fh:
+                fh.write(text + "\n")
+    except (ReproError, OSError) as exc:
+        print(f"{name} failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -78,12 +197,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.experiment == "explain":
-        text = run_explain(args.sql, args.scale, args.seed)
-        print(text)
-        if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text + "\n")
-        return 0
+        return _run_subcommand(
+            "explain",
+            lambda: run_explain(args.sql, args.scale, args.seed),
+            args.out,
+        )
+
+    if args.experiment == "serve-trace":
+        return _run_subcommand(
+            "serve-trace", lambda: run_serve_trace(args), args.out
+        )
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -64,10 +64,16 @@ _WORKER_STATE: Optional[
 
 
 def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    """CPUs this process may use: ``os.sched_getaffinity`` where it exists
+    (Linux — respects cgroup/taskset restrictions), else ``os.cpu_count()``
+    (macOS/Windows never define the attribute)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return os.cpu_count() or 1
 
 
 @dataclass

@@ -32,6 +32,16 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     steps with a closed-form cost — with the original per-token loop kept
     as the equivalence oracle (``EngineConfig.mode`` /
     ``REPRO_SERVING_FASTPATH``).
+``workload``
+    Arrival-timed workload traces: tenant/job-tagged requests, Poisson /
+    bursty (MMPP on-off) / diurnal arrival processes, tenant-mix synthesis
+    over the benchmark query suite, JSON (de)serialization.
+``scheduler``
+    Online scheduling policies (fcfs / sjf / prefix-affinity / fair-share
+    deficit round-robin) in front of the engine's admission, plus SLO
+    accounting: queueing-delay/TTFT/E2E percentiles, per-tenant
+    breakdowns, goodput under a deadline. ``REPRO_SERVING_ONLINE=0``
+    forces the offline (fcfs, all-arrivals-at-t=0) reference path.
 ``client``
     High-level client: strings in, answers + usage + simulated latency out.
 ``pricing``
@@ -45,10 +55,30 @@ from repro.llm.blocks import (
     BlockManager,
     paged_accounting_enabled,
 )
-from repro.llm.client import BatchResult, SimulatedLLMClient
+from repro.llm.client import BatchResult, SimulatedLLMClient, TraceResult
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, CLUSTER_8XL4, Cluster, GPUSpec
 from repro.llm.models import LLAMA3_1B, LLAMA3_8B, LLAMA3_70B, ModelSpec
+from repro.llm.scheduler import (
+    SCHEDULER_POLICIES,
+    LatencySummary,
+    SchedulerPolicy,
+    SLOReport,
+    compute_slo,
+    make_policy,
+    serving_online_enabled,
+)
+from repro.llm.workload import (
+    ARRIVAL_PROCESSES,
+    TenantSpec,
+    TraceRequest,
+    WorkloadTrace,
+    bursty_arrivals,
+    diurnal_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+    synthesize_tenant_trace,
+)
 from repro.llm.pricing import (
     PricingModel,
     anthropic_claude35_sonnet,
@@ -82,6 +112,23 @@ __all__ = [
     "EngineResult",
     "SimulatedLLMClient",
     "BatchResult",
+    "TraceResult",
+    "SCHEDULER_POLICIES",
+    "SchedulerPolicy",
+    "make_policy",
+    "serving_online_enabled",
+    "LatencySummary",
+    "SLOReport",
+    "compute_slo",
+    "ARRIVAL_PROCESSES",
+    "WorkloadTrace",
+    "TraceRequest",
+    "TenantSpec",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "make_arrivals",
+    "synthesize_tenant_trace",
     "PricingModel",
     "openai_gpt4o_mini",
     "anthropic_claude35_sonnet",

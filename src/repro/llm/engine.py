@@ -52,14 +52,27 @@ Two *KV accounting* models gate admission (orthogonal to the replay mode):
 Disabling the prefix cache turns the same machinery into the paper's
 *No Cache* baseline: every prompt prefills fully and its KV is private,
 shrinking the feasible batch.
+
+**Online serving** (PR 5): requests may carry an ``arrival_s`` stamp. A
+not-yet-arrived request waits in a time-ordered arrival heap; at every
+admission point the engine releases the requests whose arrival time has
+passed into a pluggable *scheduling policy*
+(:mod:`repro.llm.scheduler` — ``fcfs``/``sjf``/``prefix-affinity``/
+``fair-share``) that decides which waiting request is admitted next.
+Arrival events merge into both replay loops: the stepwise loop sees them
+naturally (it probes admission at every step boundary), the event loop
+cuts its closed-form decode runs at the first step boundary past the next
+arrival, so both modes attempt admission at identical clocks. With every
+arrival at t=0 and the ``fcfs`` policy this degenerates exactly to the
+offline batch replay (``tests/llm/test_online_equivalence.py``);
+``REPRO_SERVING_ONLINE=0`` forces that offline shape everywhere.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ServingError
 from repro.llm.blocks import BlockAllocation, BlockManager, paged_accounting_enabled
@@ -68,6 +81,14 @@ from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
 from repro.llm.radix import RadixPrefixCache, serving_fastpath_enabled
 from repro.llm.request import Request, RequestMetrics
+from repro.llm.scheduler import (
+    SCHEDULER_POLICIES,
+    SchedulerPolicy,
+    SLOReport,
+    compute_slo,
+    make_policy,
+    serving_online_enabled,
+)
 
 
 @dataclass
@@ -84,7 +105,10 @@ class EngineConfig:
     token-sum oracle), or ``"auto"`` (paged unless
     ``REPRO_SERVING_PAGED=0``); ``block_tokens`` is the paged block size
     (16 in vLLM by default; 1 makes paged numerically identical to the
-    token oracle).
+    token oracle); ``scheduler`` names the online admission policy
+    (:data:`repro.llm.scheduler.SCHEDULER_POLICIES`; ``"auto"``/``"fcfs"``
+    is the offline-equivalent default, and ``REPRO_SERVING_ONLINE=0``
+    forces ``fcfs`` regardless).
     """
 
     enable_prefix_cache: bool = True
@@ -93,6 +117,7 @@ class EngineConfig:
     mode: str = "auto"
     kv_accounting: str = "auto"
     block_tokens: int = 16
+    scheduler: str = "auto"
 
 
 @dataclass
@@ -136,6 +161,14 @@ class EngineResult:
     block_tokens: int = 0
     peak_kv_blocks: int = 0
     fragmentation_tokens: int = 0
+    #: Scheduling policy the run admitted under (``"fcfs"`` offline).
+    scheduler: str = "fcfs"
+
+    def slo(self, deadline_s: Optional[float] = None) -> SLOReport:
+        """Latency/goodput rollup (queueing delay, TTFT, E2E percentiles,
+        per-tenant breakdown, goodput under ``deadline_s``) over this
+        run's per-request metrics."""
+        return compute_slo(self.request_metrics, deadline_s=deadline_s)
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -168,6 +201,19 @@ def _resolve_accounting(accounting: str) -> str:
     if accounting not in ("paged", "tokens"):
         raise ServingError(f"unknown kv accounting {accounting!r}")
     return accounting
+
+
+def _resolve_scheduler(name: str) -> str:
+    if name == "auto":
+        name = "fcfs"
+    if name not in SCHEDULER_POLICIES:
+        raise ServingError(
+            f"unknown scheduler policy {name!r}; choose from {SCHEDULER_POLICIES}"
+        )
+    # The offline oracle: every engine schedules FCFS, regardless of config.
+    if not serving_online_enabled():
+        return "fcfs"
+    return name
 
 
 class SimulatedLLMEngine:
@@ -210,7 +256,13 @@ class SimulatedLLMEngine:
             block_manager=self.blocks,
         )
         self._use_pins = self.mode == "event"
-        self._waiting: Deque[Request] = deque()
+        #: Arrived-but-unadmitted requests live in the scheduling policy;
+        #: not-yet-arrived requests wait in a (arrival_s, seq) heap and are
+        #: released into the policy as the clock passes their stamp.
+        self.scheduler_name = _resolve_scheduler(self.config.scheduler)
+        self.scheduler: SchedulerPolicy = make_policy(self.scheduler_name)
+        self._future: List[Tuple[float, int, Request]] = []
+        self._arrival_seq = 0
         self._clock = 0.0
         self._private_tokens = 0
         #: Decode blocks promised at admission but not yet drawn from the
@@ -228,21 +280,50 @@ class SimulatedLLMEngine:
         self._admission_blocked = False
 
     # ------------------------------------------------------------------ API
+    @property
+    def clock(self) -> float:
+        """Current simulation time (persists across :meth:`run` calls —
+        the engine models a long-lived server)."""
+        return self._clock
+
     def submit(self, request: Request) -> None:
-        self._waiting.append(request)
+        if request.arrival_s > self._clock:
+            heappush(
+                self._future, (request.arrival_s, self._arrival_seq, request)
+            )
+            self._arrival_seq += 1
+        else:
+            # Already arrived (t=0 offline batches land here): straight
+            # into the scheduling policy, in submission order.
+            self.scheduler.submit(request)
 
     def submit_all(self, requests: Sequence[Request]) -> None:
         for r in requests:
             self.submit(r)
 
     def flush_waiting(self) -> int:
-        """Drop every queued-but-unadmitted request and unblock admission;
-        returns how many were dropped. Used to clean up after a failed run
-        (e.g. a :class:`CapacityError` on an infeasible request) so the
-        engine — and its warm cache — stay usable for the next job."""
-        n = len(self._waiting)
-        self._waiting.clear()
+        """Drop every queued-but-unadmitted request (arrived or future) and
+        unblock admission; returns how many were dropped. Used to clean up
+        after a failed run (e.g. a :class:`CapacityError` on an infeasible
+        request) so the engine — and its warm cache — stay usable for the
+        next job."""
+        n = len(self.scheduler.drain()) + len(self._future)
+        self._future.clear()
         self._admission_blocked = False
+        return n
+
+    def _release_arrivals(self) -> int:
+        """Move requests whose arrival time has passed into the policy."""
+        fut = self._future
+        n = 0
+        while fut and fut[0][0] <= self._clock:
+            _, _, req = heappop(fut)
+            self.scheduler.submit(req)
+            n += 1
+        if n:
+            # A fresh candidate can change a blocked admission's outcome
+            # (another policy choice, or simply a retry with eviction).
+            self._admission_blocked = False
         return n
 
     def run(self) -> EngineResult:
@@ -269,11 +350,15 @@ class SimulatedLLMEngine:
         decode_steps = 0
         max_batch_seen = 0
 
-        while self._waiting or running:
+        while len(self.scheduler) or self._future or running:
             self._admit(running)
             if not running:
-                if self._waiting:
+                if len(self.scheduler):
                     raise ServingError("admission stalled with empty batch")
+                if self._future:
+                    # Idle engine: jump the clock to the next arrival.
+                    self._clock = max(self._clock, self._future[0][0])
+                    continue
                 break
             max_batch_seen = max(max_batch_seen, len(running))
             peak = max(peak, self._sample_usage())
@@ -331,12 +416,16 @@ class SimulatedLLMEngine:
         step = 0  # global decode-step counter
         fresh: List[_Running] = []  # admitted, awaiting their first token
 
-        while self._waiting or batch:
+        while len(self.scheduler) or self._future or batch:
             wave: List[_Running] = []
             self._admit(wave, n_active=batch)
             if batch == 0 and not wave:
-                if self._waiting:
+                if len(self.scheduler):
                     raise ServingError("admission stalled with empty batch")
+                if self._future:
+                    # Idle engine: jump the clock to the next arrival.
+                    self._clock = max(self._clock, self._future[0][0])
+                    continue
                 break
             max_batch_seen = max(max_batch_seen, batch + len(wave))
             peak = max(peak, self._sample_usage())
@@ -366,11 +455,24 @@ class SimulatedLLMEngine:
             steps = completions[0][0] - step
             if (
                 retired
-                and self._waiting
+                and len(self.scheduler)
                 and batch < self.config.max_batch_size
                 and steps > 1
             ):
                 steps = 1
+            if (
+                self._future
+                and steps > 1
+                and batch < self.config.max_batch_size
+            ):
+                # Arrival event: cut the decode run at the first step
+                # boundary whose clock reaches the next arrival — the
+                # boundary where the stepwise loop would see it and attempt
+                # admission. With a full batch the arrival cannot be
+                # admitted anyway, so the run proceeds to the completion.
+                steps = self._cap_steps_at_arrival(
+                    context_sum, batch, steps, self._future[0][0]
+                )
             first_dt = self.cost.decode_run_time(context_sum, batch, 1)
             total_dt = (
                 first_dt
@@ -419,7 +521,30 @@ class SimulatedLLMEngine:
             block_tokens=self.block_tokens if self.blocks is not None else 0,
             peak_kv_blocks=self._peak_blocks,
             fragmentation_tokens=self._frag_at_peak,
+            scheduler=self.scheduler_name,
         )
+
+    def _cap_steps_at_arrival(
+        self, context_sum: int, batch: int, steps: int, arrival_s: float
+    ) -> int:
+        """Smallest run length (in decode steps, at least 1) whose
+        closed-form clock advance reaches ``arrival_s``, capped at
+        ``steps`` when the run's completion event comes first.
+        ``decode_run_time`` is strictly increasing in the step count, so a
+        binary search finds the boundary in O(log steps) closed-form
+        evaluations."""
+        start = self._clock
+        cost = self.cost
+        if start + cost.decode_run_time(context_sum, batch, steps) < arrival_s:
+            return steps
+        lo, hi = 1, steps
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if start + cost.decode_run_time(context_sum, batch, mid) >= arrival_s:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
 
     def _used_tokens(self) -> int:
         return self.cache.total_tokens + self._private_tokens
@@ -451,20 +576,28 @@ class SimulatedLLMEngine:
             raise ServingError("decode block reservation went negative")
 
     def _admit(self, running: List[_Running], n_active: Optional[int] = None) -> None:
-        """Admit FIFO while memory and batch slots allow, appending members
-        to ``running``. The stepwise loop passes its full running list;
-        the event loop passes an empty wave list plus ``n_active`` (its
-        incremental batch count)."""
+        """Admit the policy's picks while memory and batch slots allow,
+        appending members to ``running``. The stepwise loop passes its full
+        running list; the event loop passes an empty wave list plus
+        ``n_active`` (its incremental batch count).
+
+        The policy only chooses *which* waiting request is next — if that
+        request does not fit, admission blocks (no skip-ahead), exactly the
+        head-of-line semantics the offline FIFO had."""
+        self._release_arrivals()
         if self._admission_blocked:
             return
         base = len(running) if n_active is None else n_active
         cache_on = self.config.enable_prefix_cache
         cache = self.cache
         bm = self.blocks
+        sched = self.scheduler
         wave: List[Tuple[int, int]] = []  # (new_tokens, cached_prefix) per admission
         wave_members: List[_Running] = []
-        while self._waiting and base + len(wave_members) < self.config.max_batch_size:
-            req = self._waiting[0]
+        while base + len(wave_members) < self.config.max_batch_size:
+            req = sched.select(cache if cache_on else None)
+            if req is None:
+                break
             prompt_len = req.prompt_len
             hit = (
                 cache.match(req.prompt_tokens, req.prompt_bytes)
@@ -517,8 +650,8 @@ class SimulatedLLMEngine:
                         f"capacity is {self.capacity_tokens}"
                     )
                 self._admission_blocked = True
-                break  # wait for completions to free memory
-            self._waiting.popleft()
+                break  # wait for a completion (or arrival) to change things
+            sched.pop(req)
 
             pin = None
             if cache_on:
@@ -546,6 +679,8 @@ class SimulatedLLMEngine:
                 prompt_tokens=prompt_len,
                 cached_tokens=hit,
                 prefill_tokens=new_prompt,
+                arrival_s=req.arrival_s,
+                tenant=req.tenant,
             )
             member = _Running(
                 request=req,

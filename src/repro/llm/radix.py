@@ -234,6 +234,39 @@ class RadixPrefixCache:
             self.misses += 1
         return pos
 
+    def match_len(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
+        """Length of the longest cached prefix of ``tokens`` WITHOUT any
+        side effects: no LRU refresh, no hit/miss counters, no clock tick.
+
+        This is the probe scheduling policies use to rank waiting requests
+        by cache affinity — a policy peeking at candidates must not perturb
+        the eviction order or the counters the equivalence oracles compare.
+        """
+        node = self.root
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        pos = 0
+        n = len(tokens)
+        tb = packed
+        while pos < n:
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            edge = child.edge
+            k = len(edge)
+            eb = child.edge_bytes
+            if eb is not None and tb is not None:
+                full = tb.startswith(eb, pos * _PACK_BYTES)
+            else:
+                full = tokens[pos : pos + k] == edge
+            if full:
+                pos += k
+                node = child
+                continue
+            pos += _common_prefix_len(edge, tokens, pos)
+            break
+        return pos
+
     # -------------------------------------------------------------- insert
     def insert(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
         """Cache ``tokens``; returns the number of *newly* cached tokens.

@@ -17,6 +17,11 @@ class Request:
     (``array("q", prompt_tokens).tobytes()``) that the radix cache uses for
     allocation-free long-edge compares; the client computes it once per
     distinct prompt alongside its memoized tokenization.
+
+    ``arrival_s`` is the absolute simulation time the request becomes
+    visible to the scheduler (0.0 = already present, the offline batch
+    shape); ``tenant`` tags the request for fair-share scheduling and
+    per-tenant SLO breakdowns.
     """
 
     request_id: int
@@ -24,6 +29,8 @@ class Request:
     output_tokens: int
     output_text: str = ""
     prompt_bytes: Optional[bytes] = None
+    arrival_s: float = 0.0
+    tenant: str = ""
 
     def __post_init__(self):
         if not isinstance(self.prompt_tokens, tuple):
@@ -33,6 +40,8 @@ class Request:
             self.prompt_tokens = tuple(self.prompt_tokens)
         if self.output_tokens < 0:
             raise ValueError("output_tokens must be >= 0")
+        if not self.arrival_s >= 0.0 or self.arrival_s == float("inf"):
+            raise ValueError("arrival_s must be a finite time >= 0")
 
     @property
     def prompt_len(self) -> int:
@@ -41,7 +50,12 @@ class Request:
 
 @dataclass
 class RequestMetrics:
-    """Filled in by the engine as the request moves through its lifecycle."""
+    """Filled in by the engine as the request moves through its lifecycle.
+
+    ``arrival_s``/``tenant`` echo the request's submission stamps so SLO
+    accounting (queueing delay, TTFT, E2E — see
+    :func:`repro.llm.scheduler.compute_slo`) needs only this record.
+    """
 
     request_id: int
     prompt_tokens: int = 0
@@ -51,9 +65,30 @@ class RequestMetrics:
     admitted_at_s: float = 0.0
     first_token_at_s: float = 0.0
     finished_at_s: float = 0.0
+    arrival_s: float = 0.0
+    tenant: str = ""
 
     @property
     def hit_rate(self) -> float:
         if self.prompt_tokens == 0:
             return 0.0
         return self.cached_tokens / self.prompt_tokens
+
+    # ------------------------------------------------------- SLO latencies
+    @property
+    def queueing_delay_s(self) -> float:
+        """Arrival to the end of the admission (prefill) wave; the engine
+        stamps ``admitted_at_s`` at the post-prefill clock."""
+        return self.admitted_at_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival to the first decoded token (to completion for
+        zero-output requests, which never decode)."""
+        at = self.first_token_at_s if self.output_tokens else self.finished_at_s
+        return at - self.arrival_s
+
+    @property
+    def e2e_s(self) -> float:
+        """Arrival to completion (the online JCT)."""
+        return self.finished_at_s - self.arrival_s

@@ -1,0 +1,446 @@
+"""Online scheduling policies and SLO accounting for the serving engine.
+
+The offline engine replays a *batch*: every request is present at t=0 and
+admission is FIFO. Online serving — the regime the paper's optimizations
+must ultimately survive — adds two degrees of freedom:
+
+* requests **arrive over time** (``Request.arrival_s``), so the engine
+  merges arrival events into its event-driven clock (see
+  :class:`~repro.llm.engine.SimulatedLLMEngine`);
+* among the arrived-but-waiting requests, a **scheduling policy** decides
+  which one is admitted next.
+
+Policies (``EngineConfig.scheduler`` / :data:`SCHEDULER_POLICIES`):
+
+``"fcfs"``
+    First-come-first-served, in submission order. The oracle: with every
+    arrival at t=0 it reproduces the offline engine exactly (the
+    randomized suite in ``tests/llm/test_online_equivalence.py`` enforces
+    schedules, clocks and cache counters).
+
+``"sjf"``
+    Shortest predicted job first — the prediction is the prompt length,
+    which the scheduler knows exactly (prompts are tokenized at submit).
+    Classic mean-latency optimizer; can starve long prompts.
+
+``"prefix-affinity"``
+    Picks the waiting request whose prompt has the longest cached prefix
+    in the engine's radix tree right now (side-effect-free
+    :meth:`~repro.llm.radix.RadixPrefixCache.match_len` probes), so
+    admissions extend currently-hot paths instead of thrashing the cache
+    across tenants — the paper's prefix-sharing win under contention.
+    Ties (including the all-cold case) fall back to FCFS order.
+
+``"fair-share"``
+    Per-tenant deficit round-robin in prompt-token currency: each visit
+    tops the tenant's deficit up by ``quantum_tokens`` and the tenant may
+    admit while its head request costs no more than its deficit. Bounds
+    cross-tenant interference without starving anyone.
+
+No policy skips ahead of its own choice: if the selected request does not
+fit in KV memory, admission blocks until a completion (or a new arrival,
+which may change the choice) — head-of-line semantics identical to the
+offline engine's, so policies differ only in *which* head they expose.
+
+``REPRO_SERVING_ONLINE=0`` disables the online layer end to end: engines
+force the FCFS policy and trace replay drops arrival stamps (everything
+behaves as an offline batch at t=0) — the selectable reference oracle,
+mirroring ``REPRO_SERVING_FASTPATH`` / ``REPRO_SERVING_PAGED``.
+
+SLO accounting (:func:`compute_slo`) rolls per-request queueing delay,
+TTFT and end-to-end latency into exact nearest-rank p50/p95/p99
+percentiles (shared helper in :mod:`repro.bench.reporting`), per-tenant
+breakdowns, and goodput under a deadline.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+from repro.llm.request import Request, RequestMetrics
+
+
+def serving_online_enabled() -> bool:
+    """Whether the online serving layer (arrival-timed admission, pluggable
+    scheduling policies) is enabled. ``REPRO_SERVING_ONLINE=0`` forces the
+    offline reference path — FCFS policy, all arrivals treated as t=0 —
+    end to end."""
+    flag = os.environ.get("REPRO_SERVING_ONLINE", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
+# --------------------------------------------------------------------------
+# Scheduling policies
+# --------------------------------------------------------------------------
+class SchedulerPolicy:
+    """Waiting pool + selection rule for arrived requests.
+
+    The engine calls :meth:`select` to peek at the next admission candidate
+    (repeatedly — the call must be deterministic and mutation-free given an
+    unchanged pool) and :meth:`pop` to commit the admission. ``cache`` is
+    the engine's radix cache (None when prefix caching is off); policies
+    may probe it with the side-effect-free ``match_len`` only.
+    """
+
+    name = "base"
+
+    def submit(self, request: Request) -> None:
+        raise NotImplementedError
+
+    def select(self, cache=None) -> Optional[Request]:
+        raise NotImplementedError
+
+    def pop(self, request: Request) -> None:
+        """Remove ``request`` — must be the current :meth:`select` choice."""
+        raise NotImplementedError
+
+    def drain(self) -> List[Request]:
+        """Remove and return every waiting request (failed-job cleanup)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """Submission order — the offline engine's FIFO queue."""
+
+    name = "fcfs"
+
+    def __init__(self):
+        self._queue: Deque[Request] = deque()
+
+    def submit(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def select(self, cache=None) -> Optional[Request]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self, request: Request) -> None:
+        if not self._queue or self._queue[0] is not request:
+            raise ServingError("pop out of order: not the selected request")
+        self._queue.popleft()
+
+    def drain(self) -> List[Request]:
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SJFPolicy(SchedulerPolicy):
+    """Shortest predicted prompt first; FCFS among equals."""
+
+    name = "sjf"
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, Request]] = []
+        self._seq = 0
+
+    def submit(self, request: Request) -> None:
+        heappush(self._heap, (request.prompt_len, self._seq, request))
+        self._seq += 1
+
+    def select(self, cache=None) -> Optional[Request]:
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self, request: Request) -> None:
+        if not self._heap or self._heap[0][2] is not request:
+            raise ServingError("pop out of order: not the selected request")
+        heappop(self._heap)
+
+    def drain(self) -> List[Request]:
+        out = [r for _, _, r in sorted(self._heap)]
+        self._heap.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class PrefixAffinityPolicy(SchedulerPolicy):
+    """Longest currently-cached prefix first; FCFS among ties.
+
+    An O(pool) side-effect-free radix probe per selection — fine for a
+    simulator, and exactly the signal a prefix-caching server has at hand
+    (vLLM/SGLang expose the same lookup their admission uses).
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self):
+        self._pool: List[Tuple[int, Request]] = []  # (submit seq, request)
+        self._seq = 0
+
+    def submit(self, request: Request) -> None:
+        self._pool.append((self._seq, request))
+        self._seq += 1
+
+    def select(self, cache=None) -> Optional[Request]:
+        if not self._pool:
+            return None
+        if cache is None:
+            return min(self._pool)[1]
+        best = None
+        best_key: Tuple[int, int] = (1, 0)
+        for seq, req in self._pool:
+            hit = cache.match_len(req.prompt_tokens, req.prompt_bytes)
+            key = (-hit, seq)  # longest hit, then FCFS
+            if best is None or key < best_key:
+                best, best_key = req, key
+        return best
+
+    def pop(self, request: Request) -> None:
+        for i, (_, req) in enumerate(self._pool):
+            if req is request:
+                del self._pool[i]
+                return
+        raise ServingError("pop of a request not in the pool")
+
+    def drain(self) -> List[Request]:
+        out = [r for _, r in sorted(self._pool)]
+        self._pool.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
+class FairSharePolicy(SchedulerPolicy):
+    """Per-tenant deficit round-robin (DRR) in prompt-token currency.
+
+    Tenants are visited in first-seen order; each visit adds
+    ``quantum_tokens`` to the tenant's deficit and the tenant may admit
+    while its head (FIFO) request costs no more than the accumulated
+    deficit. Selection is computed without mutating the DRR state — the
+    deficit/cursor updates commit on :meth:`pop` — so repeated selects
+    while admission is blocked keep returning the same request.
+    """
+
+    name = "fair-share"
+
+    def __init__(self, quantum_tokens: int = 256):
+        if quantum_tokens <= 0:
+            raise ServingError("quantum_tokens must be positive")
+        self.quantum_tokens = quantum_tokens
+        self._queues: Dict[str, Deque[Request]] = {}
+        self._order: List[str] = []  # tenants with nonempty queues
+        self._deficit: Dict[str, int] = {}
+        self._cursor = 0
+        self._n = 0
+
+    def submit(self, request: Request) -> None:
+        tenant = request.tenant
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if not q:
+            self._order.append(tenant)
+            self._deficit.setdefault(tenant, 0)
+        q.append(request)
+        self._n += 1
+
+    def _walk(self, commit: bool) -> Optional[Request]:
+        order = self._order
+        if not order:
+            return None
+        deficit = self._deficit if commit else dict(self._deficit)
+        i = self._cursor % len(order)
+        while True:
+            tenant = order[i]
+            head = self._queues[tenant][0]
+            cost = max(1, head.prompt_len)
+            if deficit[tenant] >= cost:
+                if commit:
+                    deficit[tenant] -= cost
+                    self._cursor = i
+                return head
+            # Top up once per visit; a full cycle adds one quantum to every
+            # tenant, so the walk terminates in O(max_cost / quantum) cycles.
+            deficit[tenant] += self.quantum_tokens
+            i = (i + 1) % len(order)
+
+    def select(self, cache=None) -> Optional[Request]:
+        return self._walk(commit=False)
+
+    def pop(self, request: Request) -> None:
+        chosen = self._walk(commit=True)
+        if chosen is not request:
+            raise ServingError("pop out of order: not the selected request")
+        tenant = request.tenant
+        q = self._queues[tenant]
+        q.popleft()
+        self._n -= 1
+        if not q:
+            # The commit walk just parked the cursor on this tenant, so its
+            # index is the cursor; removing it leaves the cursor pointing at
+            # the next tenant in rotation (modulo the shrunken list). An
+            # exhausted tenant's residual deficit is forfeited — a tenant
+            # cannot bank credit while it has nothing queued.
+            self._order.pop(self._cursor)
+            self._deficit[tenant] = 0
+            self._cursor = self._cursor % len(self._order) if self._order else 0
+
+    def drain(self) -> List[Request]:
+        out: List[Request] = []
+        for tenant in list(self._order):
+            out.extend(self._queues[tenant])
+            self._queues[tenant].clear()
+        self._order.clear()
+        self._deficit = {t: 0 for t in self._deficit}
+        self._cursor = 0
+        self._n = 0
+        return out
+
+    def __len__(self) -> int:
+        return self._n
+
+
+SCHEDULER_POLICIES = ("fcfs", "sjf", "prefix-affinity", "fair-share")
+
+
+def make_policy(name: str, **kwargs) -> SchedulerPolicy:
+    """Instantiate a scheduling policy by registry name."""
+    if name == "fcfs":
+        return FCFSPolicy(**kwargs)
+    if name == "sjf":
+        return SJFPolicy(**kwargs)
+    if name == "prefix-affinity":
+        return PrefixAffinityPolicy(**kwargs)
+    if name == "fair-share":
+        return FairSharePolicy(**kwargs)
+    raise ServingError(
+        f"unknown scheduler policy {name!r}; choose from {SCHEDULER_POLICIES}"
+    )
+
+
+# --------------------------------------------------------------------------
+# SLO accounting
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencySummary:
+    """Exact nearest-rank percentiles of one latency series (seconds)."""
+
+    n: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "LatencySummary":
+        from repro.bench.reporting import latency_percentiles  # avoid an import cycle
+
+        vals = list(values)
+        if not vals:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p50, p95, p99 = latency_percentiles(vals)
+        return LatencySummary(
+            n=len(vals),
+            p50=p50,
+            p95=p95,
+            p99=p99,
+            mean=sum(vals) / len(vals),
+            max=max(vals),
+        )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Latency/goodput rollup of one (sub)population of requests.
+
+    ``queueing`` is arrival → end of the admission (prefill) wave, ``ttft``
+    arrival → first decoded token (completion for zero-output requests),
+    ``e2e`` arrival → completion. ``goodput_requests`` counts requests
+    whose e2e latency met ``deadline_s`` (all of them when no deadline);
+    ``goodput_tokens_per_s`` is their decode-token throughput over the
+    span from first arrival to last completion.
+    """
+
+    n_requests: int
+    deadline_s: Optional[float]
+    queueing: LatencySummary
+    ttft: LatencySummary
+    e2e: LatencySummary
+    goodput_requests: int
+    goodput_tokens_per_s: float
+    per_tenant: Dict[str, "SLOReport"] = field(default_factory=dict)
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of requests that met the deadline (1.0 without one)."""
+        return self.goodput_requests / self.n_requests if self.n_requests else 0.0
+
+    def render(self, title: str = "SLO report") -> str:
+        """Operator-style fixed-width text table, one row per tenant plus
+        the all-tenants rollup."""
+        lines = [
+            title,
+            "tenant            reqs   q_p95     ttft_p50  ttft_p95  ttft_p99"
+            "  e2e_p95   goodput",
+        ]
+
+        def row(name: str, r: "SLOReport") -> str:
+            return (
+                f"{name:<16} {r.n_requests:>5}   "
+                f"{r.queueing.p95:7.3f}s  {r.ttft.p50:7.3f}s  "
+                f"{r.ttft.p95:7.3f}s  {r.ttft.p99:7.3f}s  "
+                f"{r.e2e.p95:7.3f}s  {100 * r.attainment:5.1f}%"
+            )
+
+        for tenant in sorted(self.per_tenant):
+            lines.append(row(tenant, self.per_tenant[tenant]))
+        lines.append(row("(all)", self))
+        if self.deadline_s is not None:
+            lines.append(
+                f"deadline {self.deadline_s:.3f}s: {self.goodput_requests}/"
+                f"{self.n_requests} on time, goodput "
+                f"{self.goodput_tokens_per_s:.1f} decode tok/s"
+            )
+        return "\n".join(lines)
+
+
+def compute_slo(
+    metrics: Sequence[RequestMetrics],
+    deadline_s: Optional[float] = None,
+    by_tenant: bool = True,
+) -> SLOReport:
+    """Roll per-request stamps into an :class:`SLOReport` (empty-safe)."""
+    if deadline_s is not None and deadline_s <= 0:
+        raise ServingError(f"deadline_s must be positive, got {deadline_s}")
+    if not metrics:
+        empty = LatencySummary.of(())
+        return SLOReport(0, deadline_s, empty, empty, empty, 0, 0.0)
+    on_time = [
+        m for m in metrics if deadline_s is None or m.e2e_s <= deadline_s
+    ]
+    span = max(m.finished_at_s for m in metrics) - min(m.arrival_s for m in metrics)
+    goodput_tokens = sum(m.output_tokens for m in on_time)
+    per_tenant: Dict[str, SLOReport] = {}
+    if by_tenant:
+        groups: Dict[str, List[RequestMetrics]] = {}
+        for m in metrics:
+            groups.setdefault(m.tenant, []).append(m)
+        if len(groups) > 1 or "" not in groups:
+            per_tenant = {
+                t: compute_slo(ms, deadline_s=deadline_s, by_tenant=False)
+                for t, ms in groups.items()
+            }
+    return SLOReport(
+        n_requests=len(metrics),
+        deadline_s=deadline_s,
+        queueing=LatencySummary.of([m.queueing_delay_s for m in metrics]),
+        ttft=LatencySummary.of([m.ttft_s for m in metrics]),
+        e2e=LatencySummary.of([m.e2e_s for m in metrics]),
+        goodput_requests=len(on_time),
+        goodput_tokens_per_s=goodput_tokens / span if span > 0 else 0.0,
+        per_tenant=per_tenant,
+    )

@@ -13,10 +13,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ServingError
-from repro.llm.client import BatchResult, SimulatedLLMClient
+from repro.llm.client import BatchResult, SimulatedLLMClient, TraceResult
 from repro.llm.engine import EngineConfig
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.scheduler import SLOReport
+from repro.llm.workload import WorkloadTrace
 
 
 @dataclass
@@ -36,6 +38,24 @@ class JobStats:
     #: Distinct prompt strings in the job — the dedup headroom an
     #: LLM-aware SQL layer would exploit (== n_requests when all differ).
     n_distinct_prompts: int = 0
+    #: Online-serving accounting: the scheduling policy the job ran under
+    #: and its SLO rollup (arrival-relative latency percentiles, per-tenant
+    #: breakdown, goodput). Batch jobs get the same rollup with every
+    #: arrival at submission time.
+    scheduler: str = "fcfs"
+    slo: Optional[SLOReport] = None
+
+    @property
+    def p95_ttft_s(self) -> float:
+        return self.slo.ttft.p95 if self.slo else 0.0
+
+    @property
+    def p99_e2e_s(self) -> float:
+        return self.slo.e2e.p99 if self.slo else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.slo.attainment if self.slo else 1.0
 
     @property
     def hit_rate(self) -> float:
@@ -132,9 +152,63 @@ class BatchInferenceServer:
                 peak_kv_blocks=er.peak_kv_blocks,
                 fragmentation_tokens=er.fragmentation_tokens,
                 n_distinct_prompts=len(set(prompts)),
+                scheduler=er.scheduler,
+                slo=er.slo(),
             )
         )
         return result
+
+    def submit_trace(
+        self,
+        job_id: str,
+        trace: WorkloadTrace,
+        deadline_s: Optional[float] = None,
+        fresh_cache: bool = False,
+    ) -> TraceResult:
+        """Run one arrival-timed trace job under the engine's scheduling
+        policy. Same job-id contract as :meth:`submit_job` (registered only
+        on success, retryable after a failure); ``deadline_s`` feeds the
+        goodput accounting of the job's SLO report."""
+        if job_id in self._job_ids:
+            raise ServingError(f"duplicate job id {job_id!r}")
+        if not trace.n_requests:
+            raise ServingError("trace has no requests")
+        if fresh_cache:
+            self.client.reset_cache()
+        try:
+            result = self.client.generate_trace(trace, deadline_s=deadline_s)
+        except Exception:
+            self.client.cancel_pending()
+            raise
+        self._job_ids.add(job_id)
+        er = result.engine_result
+        self.stats.jobs.append(
+            JobStats(
+                job_id=job_id,
+                n_requests=trace.n_requests,
+                prompt_tokens=er.prompt_tokens,
+                cached_tokens=er.cached_tokens,
+                output_tokens=er.decode_tokens,
+                seconds=er.total_seconds,
+                block_tokens=er.block_tokens,
+                peak_kv_blocks=er.peak_kv_blocks,
+                fragmentation_tokens=er.fragmentation_tokens,
+                n_distinct_prompts=len({r.prompt for r in trace.requests}),
+                scheduler=er.scheduler,
+                slo=result.slo,
+            )
+        )
+        return result
+
+    def slo_report(self, job_id: str) -> str:
+        """Per-tenant SLO table for one job (trace or batch)."""
+        job = self.job(job_id)
+        if job.slo is None:
+            raise ServingError(f"job {job_id!r} has no SLO accounting")
+        return job.slo.render(
+            f"job {job_id} · scheduler={job.scheduler} · "
+            f"{job.n_requests} requests"
+        )
 
     def job(self, job_id: str) -> JobStats:
         for j in self.stats.jobs:
@@ -146,7 +220,7 @@ class BatchInferenceServer:
         """Operator-style text report."""
         lines = [
             "job            reqs  distinct   prompt_tok  hit%    out_tok   seconds"
-            "  kv_blocks  frag_tok"
+            "  kv_blocks  frag_tok  sched            p95_ttft"
         ]
         for j in self.stats.jobs:
             lines.append(
@@ -154,6 +228,7 @@ class BatchInferenceServer:
                 f"{j.prompt_tokens:>10}  "
                 f"{100 * j.hit_rate:5.1f}%  {j.output_tokens:>7}  {j.seconds:8.2f}"
                 f"  {j.peak_kv_blocks:>9}  {j.fragmentation_tokens:>8}"
+                f"  {j.scheduler:<15} {j.p95_ttft_s:8.3f}s"
             )
         lines.append(
             f"lifetime hit rate {100 * self.stats.lifetime_hit_rate:.1f}% over "

@@ -18,7 +18,7 @@ from repro.relational.expressions import (
     Not,
     Or,
 )
-from repro.relational.llm_functions import LLMCallStats, LLMRuntime
+from repro.relational.llm_functions import AnswerMemoStore, LLMCallStats, LLMRuntime
 from repro.relational.optimizer import (
     OptimizerConfig,
     OptimizedPlan,
@@ -42,6 +42,7 @@ __all__ = [
     "LLMExpr",
     "LLMRuntime",
     "LLMCallStats",
+    "AnswerMemoStore",
     "OptimizerConfig",
     "OptimizedPlan",
     "optimize_plan",

@@ -20,7 +20,7 @@ from repro.core.fd import FunctionalDependencies
 from repro.core.stats import TableStats
 from repro.errors import SchemaError
 from repro.relational.expressions import ExecutionContext
-from repro.relational.llm_functions import LLMRuntime
+from repro.relational.llm_functions import AnswerMemoStore, LLMRuntime
 from repro.relational.optimizer import (
     DEFAULT_OPTIMIZER_CONFIG,
     OptimizerConfig,
@@ -80,16 +80,38 @@ class Database:
     """SQL-facing facade over the catalog, an LLM runtime, and the SQL
     optimizer (``optimizer_config`` defaults to the ``REPRO_SQL_OPT``-gated
     rewrites; pass ``OptimizerConfig(enabled=False)`` for the unoptimized
-    reference plans)."""
+    reference plans).
+
+    The cross-call LLM answer memo is **database-scoped**: the session
+    owns one bounded :class:`AnswerMemoStore` (``answer_memo``), adopted
+    by / from the runtime, so every query in the session — and any other
+    runtime the caller attaches to this store — shares cached answers and
+    one telemetry rollup (:attr:`memo_stats`).
+    """
 
     def __init__(
         self,
         runtime: Optional[LLMRuntime] = None,
         optimizer_config: OptimizerConfig = DEFAULT_OPTIMIZER_CONFIG,
+        answer_memo: Optional[AnswerMemoStore] = None,
     ):
         self.catalog = Catalog()
         self.runtime = runtime or LLMRuntime()
+        if answer_memo is not None:
+            # An explicit store wins: the runtime joins the session scope.
+            self.answer_memo = answer_memo
+            self.runtime.memo_store = answer_memo
+        else:
+            # Adopt the runtime's store as the session store, so a caller
+            # who pre-built a runtime keeps any answers it already cached.
+            self.answer_memo = self.runtime.memo_store
         self.optimizer_config = optimizer_config
+
+    @property
+    def memo_stats(self) -> Dict[str, int]:
+        """Session-level answer-memo telemetry (entries, hits, misses,
+        evictions)."""
+        return self.answer_memo.stats
 
     def register(
         self,
@@ -124,9 +146,14 @@ class Database:
     def explain(self, query: str) -> str:
         """Render the optimized plan for ``query`` without executing it:
         the tree, the rewrites that fired, and the estimated LLM prompt
-        tokens per operator."""
-        from repro.relational.sql import plan_sql
+        tokens per operator. Unknown tables raise
+        :class:`~repro.errors.SchemaError` up front, exactly as execution
+        would — an EXPLAIN of an unresolvable plan is meaningless."""
+        from repro.relational.sql import collect_scan_names, plan_sql
 
+        plan = plan_sql(query)
+        for name in collect_scan_names(plan):
+            self.catalog.get_table(name)  # raises SchemaError when unknown
         return explain_plan(
-            plan_sql(query), catalog=self.catalog, config=self.optimizer_config
+            plan, catalog=self.catalog, config=self.optimizer_config
         )

@@ -63,6 +63,58 @@ def default_answerer(query: str, cells: Tuple[Cell, ...], row_id: int) -> str:
     return "OK"
 
 
+class AnswerMemoStore:
+    """Bounded cross-call LLM answer memo with telemetry.
+
+    One store can back any number of :class:`LLMRuntime`\\ s — a
+    :class:`~repro.relational.catalog.Database` owns one per session, so
+    repeated queries hit answers cached by *earlier* queries (and by other
+    runtimes sharing the database), not just earlier calls of the same
+    runtime. FIFO eviction under ``max_entries``; ``hits``/``misses``/
+    ``evictions`` count only real lookups (a runtime skips lookups while
+    the store is empty, matching the pre-promotion behaviour).
+    """
+
+    def __init__(self, max_entries: int = 1 << 16):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._store: Dict[MemoKey, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: MemoKey) -> Optional[str]:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: MemoKey, value: str) -> None:
+        if key not in self._store and len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+            self.evictions += 1
+        self._store[key] = value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._store),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 @dataclass
 class LLMCallStats:
     """Telemetry for one LLM operator invocation."""
@@ -116,6 +168,12 @@ class LLMRuntime:
         Input dedup and the cross-call answer memo. ``None`` (default)
         follows the ``REPRO_SQL_OPT`` gate; explicit ``True``/``False``
         override it per runtime.
+    memo_store:
+        The answer memo's backing store. Each runtime gets a private
+        bounded store by default; a :class:`~repro.relational.catalog.Database`
+        injects its session-scoped store so every query (and every runtime
+        attached to that database) shares one memo with one telemetry
+        rollup.
     """
 
     client: Optional[SimulatedLLMClient] = None
@@ -127,10 +185,9 @@ class LLMRuntime:
     dedup: Optional[bool] = None
     memo: Optional[bool] = None
     calls: List[LLMCallStats] = field(default_factory=list)
-    answer_memo: Dict[MemoKey, str] = field(default_factory=dict, repr=False)
-
-    #: Bounded memo size (FIFO eviction), matching the client's memo policy.
-    _MEMO_MAX = 1 << 16
+    memo_store: AnswerMemoStore = field(
+        default_factory=AnswerMemoStore, repr=False
+    )
 
     @property
     def dedup_enabled(self) -> bool:
@@ -159,13 +216,15 @@ class LLMRuntime:
         n_rows = table.n_rows
         answers: List[Optional[str]] = [None] * n_rows
 
-        # 1. Cross-call memo: rows already answered by an earlier call.
+        # 1. Cross-call memo: rows already answered by an earlier call —
+        # of this runtime or of any runtime sharing the (Database-scoped)
+        # store. Lookups are skipped entirely while the store is empty.
         memo_on = self.memo_enabled
         memo_hits = 0
         pending: List[int] = []
-        if memo_on and self.answer_memo:
+        if memo_on and len(self.memo_store):
             for i, row in enumerate(sub.rows):
-                hit = self.answer_memo.get((expr.query, sub.fields, row))
+                hit = self.memo_store.get((expr.query, sub.fields, row))
                 if hit is None:
                     pending.append(i)
                 else:
@@ -236,9 +295,7 @@ class LLMRuntime:
             scheduled_tokens += n_tokens
             dedup_saved += (len(group) - 1) * n_tokens
             if memo_on:
-                if len(self.answer_memo) >= self._MEMO_MAX:
-                    self.answer_memo.pop(next(iter(self.answer_memo)))
-                self.answer_memo[(expr.query, sub.fields, sub.rows[group[0]])] = text
+                self.memo_store.put((expr.query, sub.fields, sub.rows[group[0]]), text)
 
         self.calls.append(
             LLMCallStats(

@@ -47,3 +47,72 @@ class TestCLI:
         text = path.read_text()
         assert "Limit(3)" in text and "reviewtype = 'Fresh'" in text
         capsys.readouterr()
+
+
+class TestExplainErrors:
+    """`repro explain` user errors exit nonzero with a one-line message,
+    never a traceback."""
+
+    def test_malformed_sql(self, capsys):
+        assert main(["explain", "--scale", "0.004", "--sql", "SELECT FROM"]) == 2
+        captured = capsys.readouterr()
+        assert "explain failed:" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_table(self, capsys):
+        assert main(
+            ["explain", "--scale", "0.004", "--sql", "SELECT a FROM warp_drive"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "warp_drive" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+
+class TestServeTrace:
+    def test_synthesized_demo(self, capsys):
+        assert main(
+            ["serve-trace", "--scale", "0.004", "--requests", "24",
+             "--policy", "fcfs,prefix-affinity", "--deadline", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.llm.scheduler import serving_online_enabled
+
+        assert "fcfs" in out
+        if serving_online_enabled():
+            assert "prefix-affinity" in out
+        else:  # REPRO_SERVING_ONLINE=0 CI run: both rows resolve to fcfs
+            assert "offline replay" in out
+        assert "p95_ttft" in out
+        assert "per-tenant SLO" in out and "(all)" in out
+        assert "deadline" in out
+
+    def test_trace_file_round_trip(self, tmp_path, capsys):
+        saved = tmp_path / "trace.json"
+        assert main(
+            ["serve-trace", "--scale", "0.004", "--requests", "12",
+             "--policy", "fcfs", "--save-trace", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert saved.exists()
+        assert main(
+            ["serve-trace", "--policy", "sjf", "--trace", str(saved)]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.llm.scheduler import serving_online_enabled
+
+        assert ("sjf" if serving_online_enabled() else "fcfs") in out
+
+    def test_unknown_policy_fails_cleanly(self, capsys):
+        assert main(
+            ["serve-trace", "--scale", "0.004", "--requests", "6",
+             "--policy", "warp"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "serve-trace failed:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_trace_file_fails_cleanly(self, capsys):
+        assert main(["serve-trace", "--trace", "/nonexistent/t.json"]) == 2
+        assert "serve-trace failed:" in capsys.readouterr().err

@@ -103,10 +103,35 @@ def test_mined_fds_never_break_ggr(table):
 
 @settings(max_examples=30, deadline=None)
 @given(tables())
-def test_row_duplication_monotonicity(table):
-    """Appending an exact copy of the last row cannot decrease optimal-side
-    PHC under GGR's schedule recomputation."""
-    _, sched_before, _ = ggr(table)
+def test_row_duplication_gains_duplicate_sharing(table):
+    """Appending an exact copy of the last row must let the duplicate pair
+    share a whole-row prefix: GGR groups identical rows together, so the
+    bigger table's PHC gains at least the duplicated row's full cell count
+    over *some* schedule of the original rows.
+
+    (A stronger claim — ``phc(ggr(bigger)) >= phc(ggr(table))`` — is NOT a
+    property of the greedy algorithm: the duplicate can steer the greedy
+    recursion into different grouping choices whose baseline is worse, and
+    hypothesis finds 4-row counterexamples. Only the duplicate's own
+    sharing is guaranteed.)"""
     bigger = ReorderTable(table.fields, list(table.rows) + [table.rows[-1]])
     _, sched_after, _ = ggr(bigger)
-    assert phc(sched_after) >= phc(sched_before)
+    sched_after.validate_against(bigger)
+    # GGR groups identical rows into one consecutive run, so the appended
+    # copy sits next to a twin (more copies may exist in the original
+    # table, so "next to id n-1" specifically is not guaranteed) and the
+    # later of the two scores a whole-row prefix hit: at least one cell
+    # hit per field.
+    pos_new = next(
+        i for i, r in enumerate(sched_after.rows) if r.row_id == table.n_rows
+    )
+    neighbor_pairs = [
+        [sched_after.rows[i], sched_after.rows[pos_new]]
+        for i in (pos_new - 1, pos_new + 1)
+        if 0 <= i < len(sched_after.rows)
+    ]
+    best = max(
+        phc(RequestSchedule(rows=pair, source_fields=bigger.fields))
+        for pair in neighbor_pairs
+    )
+    assert best >= table.n_fields

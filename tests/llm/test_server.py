@@ -104,3 +104,79 @@ class TestJobs:
         server = BatchInferenceServer()
         res = server.submit_job("o", ["p1", "p2"], outputs=["yes", "no"])
         assert res.outputs == ["yes", "no"]
+
+
+class TestTraceJobs:
+    def trace(self, n=8, tag="t", stagger=0.02):
+        from repro.llm.workload import TraceRequest, WorkloadTrace
+
+        return WorkloadTrace(
+            [
+                TraceRequest(
+                    i * stagger,
+                    f"shared preamble for every request {tag} row {i % 4}",
+                    tenant=f"tenant-{i % 2}",
+                    output_len=2,
+                )
+                for i in range(n)
+            ],
+            name=f"trace-{tag}",
+        )
+
+    def test_submit_trace_records_slo(self):
+        server = BatchInferenceServer()
+        res = server.submit_trace("nightly", self.trace(), deadline_s=60.0)
+        job = server.job("nightly")
+        assert job.n_requests == 8
+        assert job.scheduler == "fcfs"
+        assert job.slo is not None
+        assert job.slo.n_requests == 8
+        assert job.p95_ttft_s == job.slo.ttft.p95 > 0.0
+        assert job.slo_attainment == 1.0
+        assert set(job.slo.per_tenant) == {"tenant-0", "tenant-1"}
+        assert res.slo.ttft.p95 == job.p95_ttft_s
+
+    def test_trace_job_report_columns(self):
+        server = BatchInferenceServer()
+        server.submit_trace("trjob", self.trace(tag="r"))
+        report = server.report()
+        assert "sched" in report and "p95_ttft" in report
+        assert "fcfs" in report
+
+    def test_slo_report_renders_tenants(self):
+        server = BatchInferenceServer()
+        server.submit_trace("slojob", self.trace(tag="s"))
+        text = server.slo_report("slojob")
+        assert "slojob" in text
+        assert "tenant-0" in text and "tenant-1" in text and "(all)" in text
+
+    def test_batch_jobs_also_get_slo(self):
+        server = BatchInferenceServer()
+        server.submit_job("plain", prompts("p"), output_lens=[1] * 5)
+        job = server.job("plain")
+        assert job.slo is not None and job.slo.n_requests == 5
+        assert "plain" in server.slo_report("plain")
+
+    def test_duplicate_trace_job_rejected(self):
+        server = BatchInferenceServer()
+        server.submit_trace("dup", self.trace())
+        with pytest.raises(ServingError):
+            server.submit_trace("dup", self.trace())
+
+    def test_empty_trace_rejected(self):
+        from repro.llm.workload import WorkloadTrace
+
+        server = BatchInferenceServer()
+        with pytest.raises(ServingError):
+            server.submit_trace("empty", WorkloadTrace([]))
+
+    def test_trace_with_scheduler_policy(self):
+        from repro.llm.engine import EngineConfig
+        from repro.llm.scheduler import serving_online_enabled
+
+        server = BatchInferenceServer(
+            engine_config=EngineConfig(scheduler="prefix-affinity")
+        )
+        server.submit_trace("affine", self.trace(tag="a"))
+        expected = "prefix-affinity" if serving_online_enabled() else "fcfs"
+        assert server.job("affine").scheduler == expected

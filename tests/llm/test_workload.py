@@ -1,0 +1,211 @@
+"""Tests for the arrival-timed workload trace subsystem."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.llm.workload import (
+    ARRIVAL_PROCESSES,
+    TenantSpec,
+    TraceRequest,
+    WorkloadTrace,
+    bursty_arrivals,
+    diurnal_arrivals,
+    make_arrivals,
+    poisson_arrivals,
+    synthesize_tenant_trace,
+)
+
+
+class TestTraceRequest:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            TraceRequest(-1.0, "p")
+        with pytest.raises(ServingError):
+            TraceRequest(float("inf"), "p")
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "")
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "p", output_len=-1)
+
+    def test_dict_round_trip(self):
+        r = TraceRequest(1.5, "hello", tenant="a", job="j", output_len=4)
+        assert TraceRequest.from_dict(r.to_dict()) == r
+
+
+class TestWorkloadTrace:
+    def make(self):
+        return WorkloadTrace(
+            [
+                TraceRequest(2.0, "late", tenant="b"),
+                TraceRequest(0.5, "early", tenant="a"),
+                TraceRequest(1.0, "mid", tenant="a", output_text="ans"),
+            ],
+            name="t",
+            metadata={"k": 1},
+        )
+
+    def test_sorted_on_construction(self):
+        tr = self.make()
+        assert [r.prompt for r in tr.requests] == ["early", "mid", "late"]
+        assert tr.duration_s == 2.0
+        assert tr.tenants == ("a", "b")
+        assert tr.n_requests == 3
+
+    def test_stable_ties_preserve_submission_order(self):
+        tr = WorkloadTrace(
+            [TraceRequest(0.0, f"p{i}") for i in range(5)]
+        )
+        assert [r.prompt for r in tr.requests] == [f"p{i}" for i in range(5)]
+
+    def test_json_round_trip(self, tmp_path):
+        tr = self.make()
+        path = tmp_path / "trace.json"
+        tr.save(str(path))
+        back = WorkloadTrace.load(str(path))
+        assert back.name == tr.name
+        assert back.metadata == tr.metadata
+        assert back.requests == tr.requests
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServingError):
+            WorkloadTrace.from_json("{\"nope\": 1}")
+        with pytest.raises(ServingError):
+            WorkloadTrace.from_json("not json at all")
+
+    def test_at_time_zero(self):
+        t0 = self.make().at_time_zero()
+        assert all(r.arrival_s == 0.0 for r in t0.requests)
+        # Arrival order (not original list order) is preserved.
+        assert [r.prompt for r in t0.requests] == ["early", "mid", "late"]
+
+    def test_offered_rate(self):
+        tr = WorkloadTrace([TraceRequest(i * 0.5, "p") for i in range(5)])
+        assert tr.offered_rate_rps() == pytest.approx(5 / 2.0)
+        assert WorkloadTrace([]).offered_rate_rps() == 0.0
+
+
+class TestArrivalProcesses:
+    def test_poisson_shape(self):
+        a = poisson_arrivals(200, 50.0, seed=3)
+        assert len(a) == 200
+        assert a == sorted(a)
+        assert all(t > 0 for t in a)
+        mean_gap = a[-1] / len(a)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.3)
+
+    def test_poisson_deterministic(self):
+        assert poisson_arrivals(20, 5.0, seed=1) == poisson_arrivals(20, 5.0, seed=1)
+        assert poisson_arrivals(20, 5.0, seed=1) != poisson_arrivals(20, 5.0, seed=2)
+
+    def test_bursty_has_gaps(self):
+        a = bursty_arrivals(
+            300, on_rate_rps=200.0, on_mean_s=0.2, off_mean_s=0.5, seed=0
+        )
+        assert len(a) == 300 and a == sorted(a)
+        gaps = [b - c for b, c in zip(a[1:], a[:-1])]
+        # OFF periods create gaps far above the ON interarrival scale.
+        assert max(gaps) > 10 * (1 / 200.0)
+
+    def test_bursty_off_trickle(self):
+        a = bursty_arrivals(
+            50, on_rate_rps=100.0, off_rate_rps=5.0, on_mean_s=0.1,
+            off_mean_s=0.1, seed=4,
+        )
+        assert len(a) == 50 and a == sorted(a)
+
+    def test_diurnal_shape(self):
+        a = diurnal_arrivals(300, 50.0, period_s=10.0, amplitude=0.9, seed=0)
+        assert len(a) == 300 and a == sorted(a)
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            poisson_arrivals(5, 0.0)
+        with pytest.raises(ServingError):
+            poisson_arrivals(-1, 1.0)
+        with pytest.raises(ServingError):
+            bursty_arrivals(5, 10.0, on_mean_s=0.0)
+        with pytest.raises(ServingError):
+            diurnal_arrivals(5, 10.0, amplitude=1.5)
+
+    def test_dispatch(self):
+        for name in ARRIVAL_PROCESSES:
+            assert len(make_arrivals(name, 10, 20.0, seed=0)) == 10
+        with pytest.raises(ServingError):
+            make_arrivals("uniform", 10, 20.0)
+
+
+class TestTenantSynthesis:
+    def specs(self):
+        return [
+            TenantSpec("alpha", "movies-T1", policy="original", weight=2.0),
+            TenantSpec("beta", "products-T1", policy="original", weight=1.0),
+            TenantSpec("gamma", "movies-T2", policy="ggr", weight=1.0),
+        ]
+
+    def test_synthesis_basics(self):
+        arrivals = poisson_arrivals(40, 100.0, seed=0)
+        tr = synthesize_tenant_trace(self.specs(), arrivals, scale=0.004, seed=0)
+        assert tr.n_requests == 40
+        assert set(tr.tenants) <= {"alpha", "beta", "gamma"}
+        assert len(tr.tenants) >= 2
+        assert all(r.prompt for r in tr.requests)
+        assert all(r.output_len is not None for r in tr.requests)
+        # Prompts carry the operator's serialization format.
+        assert any("data analyst" in r.prompt for r in tr.requests)
+        assert tr.metadata["tenants"]["gamma"]["policy"] == "ggr"
+
+    def test_weights_respected(self):
+        arrivals = poisson_arrivals(300, 100.0, seed=1)
+        tr = synthesize_tenant_trace(self.specs(), arrivals, scale=0.004, seed=1)
+        counts = {t: 0 for t in ("alpha", "beta", "gamma")}
+        for r in tr.requests:
+            counts[r.tenant] += 1
+        # alpha has half the total weight: roughly twice beta's share.
+        assert counts["alpha"] > counts["beta"]
+        assert counts["alpha"] / tr.n_requests == pytest.approx(0.5, abs=0.12)
+
+    def test_deterministic(self):
+        arrivals = poisson_arrivals(20, 50.0, seed=2)
+        a = synthesize_tenant_trace(self.specs(), arrivals, scale=0.004, seed=2)
+        b = synthesize_tenant_trace(self.specs(), arrivals, scale=0.004, seed=2)
+        assert a.requests == b.requests
+
+    def test_reorder_policy_changes_stream(self):
+        arrivals = [0.01 * i for i in range(30)]
+        spec_orig = [TenantSpec("x", "movies-T2", policy="original")]
+        spec_ggr = [TenantSpec("x", "movies-T2", policy="ggr")]
+        a = synthesize_tenant_trace(spec_orig, arrivals, scale=0.004, seed=0)
+        b = synthesize_tenant_trace(spec_ggr, arrivals, scale=0.004, seed=0)
+        assert [r.prompt for r in a.requests] != [r.prompt for r in b.requests]
+        # Same prompt *set* per cycle: reordering only permutes rows/fields.
+        assert len({r.prompt for r in a.requests}) == len(
+            {r.prompt for r in b.requests}
+        )
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            synthesize_tenant_trace([], [0.0])
+        with pytest.raises(ServingError):
+            synthesize_tenant_trace(
+                [TenantSpec("a", "movies-T1"), TenantSpec("a", "movies-T1")],
+                [0.0],
+            )
+        with pytest.raises(ServingError):
+            TenantSpec("a", "movies-T1", weight=0.0)
+
+
+class TestTraceRequestOutputLenTypes:
+    def test_non_integer_output_len_rejected(self):
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "p", output_len=2.5)
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "p", output_len=True)
+
+    def test_malformed_trace_json_output_len(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"name": "t", "metadata": {}, "requests": '
+            '[{"arrival_s": 0.0, "prompt": "p", "output_len": 2.5}]}'
+        )
+        with pytest.raises(ServingError):
+            WorkloadTrace.load(str(path))

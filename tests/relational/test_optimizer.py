@@ -392,3 +392,89 @@ class TestTokenEstimateHelper:
         assert estimate_tokens(400) == 100
         with pytest.raises(ServingError):
             estimate_tokens(100, chars_per_token=0)
+
+
+class TestAnswerMemoStore:
+    """The session (Database)-scoped answer memo store: shared across
+    runtimes, bounded, with telemetry."""
+
+    def test_bound_and_evictions(self):
+        from repro.relational import AnswerMemoStore
+
+        store = AnswerMemoStore(max_entries=3)
+        for i in range(5):
+            store.put(("q", ("f",), (str(i),)), f"a{i}")
+        assert len(store) == 3
+        assert store.evictions == 2
+        # FIFO: the two oldest are gone.
+        assert store.get(("q", ("f",), ("0",))) is None
+        assert store.get(("q", ("f",), ("4",))) == "a4"
+        assert store.stats["hits"] == 1 and store.stats["misses"] == 1
+
+    def test_overwrite_does_not_evict(self):
+        from repro.relational import AnswerMemoStore
+
+        store = AnswerMemoStore(max_entries=2)
+        store.put(("q", ("f",), ("x",)), "a")
+        store.put(("q", ("f",), ("x",)), "b")
+        assert len(store) == 1 and store.evictions == 0
+        assert store.get(("q", ("f",), ("x",))) == "b"
+
+    def test_validation(self):
+        from repro.relational import AnswerMemoStore
+
+        with pytest.raises(ValueError):
+            AnswerMemoStore(max_entries=0)
+
+    def test_database_scope_shared_across_runtimes(self):
+        """Two runtimes attached to one Database store hit each other's
+        answers — the memo is session-scoped, not per-runtime."""
+        from repro.relational import AnswerMemoStore
+
+        seen = []
+
+        def answerer(q, cells, rid):
+            seen.append(rid)
+            return cells[0].value.upper()
+
+        store = AnswerMemoStore()
+        table = Table({"a": ["x", "y", "x"]})
+        rt1 = LLMRuntime(
+            answerer=answerer, dedup=True, memo=True, memo_store=store
+        )
+        rt2 = LLMRuntime(
+            answerer=answerer, dedup=True, memo=True, memo_store=store
+        )
+        assert rt1.execute(table, LLMExpr("q", ("a",))) == ["X", "Y", "X"]
+        calls_first = len(seen)
+        assert rt2.execute(table, LLMExpr("q", ("a",))) == ["X", "Y", "X"]
+        assert len(seen) == calls_first  # fully served from the shared store
+        assert rt2.calls[0].memo_hits == 3
+        assert store.hits >= 3
+
+    def test_database_adopts_runtime_store_and_reports_stats(self):
+        seen = []
+        rt = LLMRuntime(
+            answerer=lambda q, c, r: seen.append(r) or "Yes",
+            dedup=True,
+            memo=True,
+        )
+        db = Database(runtime=rt)
+        assert db.answer_memo is rt.memo_store
+        db.register("t", Table({"a": ["p", "q"]}))
+        db.sql("SELECT LLM('ask', a) AS x FROM t")
+        first = len(seen)
+        db.sql("SELECT LLM('ask', a) AS x FROM t")
+        if rt.memo_enabled:  # REPRO_SQL_OPT=0 disables the memo end to end
+            assert len(seen) == first
+            assert db.memo_stats["hits"] >= 2
+            assert db.memo_stats["entries"] == 2
+
+    def test_database_injected_store_wins(self):
+        from repro.relational import AnswerMemoStore
+
+        store = AnswerMemoStore(max_entries=8)
+        rt = LLMRuntime(dedup=True, memo=True)
+        db = Database(runtime=rt, answer_memo=store)
+        assert db.answer_memo is store
+        assert rt.memo_store is store
