@@ -3,9 +3,15 @@ tokenizer) — these are the pieces whose performance the library's users
 actually feel, so regressions here matter independent of the experiment
 reports."""
 
+import os
 import random
+import time
+
+import pytest
+from conftest import perf_record, run_once
 
 from repro.bench.experiments.base import dataset
+from repro.core.compiled import HAVE_NUMPY
 from repro.core.ggr import GGRConfig, ggr
 from repro.core.partitioned import partitioned_reorder
 from repro.core.phc import phc
@@ -38,6 +44,48 @@ def bench_phc_evaluation(benchmark, repro_scale, repro_seed):
     sched = reorder(ds.table.to_reorder_table(), "ggr", fds=ds.fds).schedule
     total = benchmark(lambda: phc(sched))
     assert total > 0
+
+
+def bench_ggr_fastpath_vs_python_speedup(benchmark, repro_seed):
+    """Perf-trajectory record for the core layer: compiled (numpy) GGR vs
+    the pure-Python oracle on a fixed-size movies table, asserted to find
+    the identical schedule. The workload size is pinned (not REPRO_SCALE)
+    so the recorded ratio is comparable across runs; interleaved min-of-5
+    timing plus the fast/oracle ratio cancels machine speed (same
+    methodology as bench_engine_replay_vector_vs_event)."""
+    if not HAVE_NUMPY:
+        pytest.skip("compiled fast path unavailable (numpy missing)")
+    ds = dataset("movies", 0.1, repro_seed)
+    rt = ds.table.to_reorder_table()
+    saved = os.environ.get("REPRO_CORE_FASTPATH")
+
+    def solve(flag):
+        os.environ["REPRO_CORE_FASTPATH"] = flag
+        t0 = time.perf_counter()
+        est, sched, _ = ggr(rt, fds=ds.fds)
+        return time.perf_counter() - t0, est, phc(sched)
+
+    def work():
+        best = {}
+        try:
+            for _ in range(5):
+                for flag in ("1", "0"):
+                    got = solve(flag)
+                    if flag not in best or got[0] < best[flag][0]:
+                        best[flag] = got
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CORE_FASTPATH", None)
+            else:
+                os.environ["REPRO_CORE_FASTPATH"] = saved
+        return best
+
+    best = run_once(benchmark, work)
+    assert best["1"][1:] == best["0"][1:]  # identical estimate and exact PHC
+    ratio = best["0"][0] / best["1"][0]
+    benchmark.extra_info["speedup_compiled_over_python"] = round(ratio, 3)
+    assert ratio >= 2.5
+    perf_record("core", "ggr_fastpath_speedup", ratio, ">= 2.5")
 
 
 def bench_ggr_movies_large(benchmark, repro_scale, repro_seed):

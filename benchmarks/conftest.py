@@ -4,11 +4,19 @@
 ``pytest benchmarks/ --benchmark-only`` run in minutes; 1.0 reproduces
 the paper's sizes). Every benchmark prints the experiment's report table,
 so run with ``-s`` to see the paper-vs-measured rows.
+
+Headline benchmarks also emit perf-trajectory records via
+:func:`perf_record` into ``BENCH_<area>.json`` (in the directory named by
+``REPRO_BENCH_DIR``, default the working directory); CI diffs those files
+against the committed baselines in ``benchmarks/baselines/`` with
+``python -m repro.bench.perf compare``.
 """
 
 import os
 
 import pytest
+
+from repro.bench.perf import record as perf_record  # noqa: F401  (re-export)
 
 
 @pytest.fixture(scope="session")

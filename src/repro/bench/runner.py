@@ -18,6 +18,7 @@ from repro.llm.engine import EngineConfig
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.scheduler import compute_slo
 from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.tokenizer import HashTokenizer
 from repro.relational.expressions import LLMExpr
 from repro.relational.llm_functions import LLMRuntime
 from repro.relational.table import Table
@@ -186,6 +187,7 @@ def run_query(
     kv_capacity_tokens: Optional[int] = None,
     kv_accounting: str = "auto",
     block_tokens: int = 16,
+    tokenizer: Optional[HashTokenizer] = None,
 ) -> RunResult:
     """Run ``query`` over ``dataset`` under ``policy``; returns metrics.
 
@@ -194,6 +196,12 @@ def run_query(
     share one engine across stages, like a long-lived server would.
     ``kv_accounting``/``block_tokens`` select the engine's admission model
     (paged block-granular by default; see :class:`repro.llm.engine.EngineConfig`).
+    ``tokenizer`` lets callers share one tokenizer — and with it the
+    tokenizer-level encode cache — across runs; prompts are then encoded
+    once per sweep instead of once per run. Metrics are unaffected: the
+    hash tokenizer's text split is vocabulary-independent, so a shared
+    (warm) vocabulary yields different ids but identical token counts and
+    prefix structure.
     """
     if query.dataset != dataset.name.lower():
         raise ReproError(
@@ -209,6 +217,7 @@ def run_query(
             kv_accounting=kv_accounting,
             block_tokens=block_tokens,
         ),
+        tokenizer=tokenizer,
     )
     runtime = LLMRuntime(
         client=client,
@@ -292,10 +301,59 @@ def run_policies(
     policies: Optional[Sequence[Policy]] = None,
     **kwargs,
 ) -> Dict[str, RunResult]:
-    """Run one query under several policies (fresh engine each)."""
+    """Run one query under several policies (fresh engine each).
+
+    All policies share one tokenizer (unless the caller passes their own),
+    so each distinct prompt in the sweep is encoded and packed once — the
+    per-policy engines stay fresh, only the encode cache is warm."""
     from repro.bench.policies import DEFAULT_POLICIES
 
+    kwargs.setdefault("tokenizer", HashTokenizer())
     out: Dict[str, RunResult] = {}
     for policy in policies or DEFAULT_POLICIES:
         out[policy.name] = run_query(query, dataset, policy, **kwargs)
     return out
+
+
+def emit_perf_records(
+    results: Dict[str, RunResult],
+    area: str = "bench",
+    system: str = "Cache (GGR)",
+    baseline: str = "No Cache",
+    min_speedup: float = 1.0,
+    directory: Optional[str] = None,
+) -> Dict[str, dict]:
+    """Emit perf-trajectory records for one ``run_policies`` sweep.
+
+    Writes two records per (query, dataset) into ``BENCH_<area>.json``
+    (see :mod:`repro.bench.perf`): the system policy's simulated JCT
+    speedup over the baseline policy, and the system's prefix hit rate.
+    Both are ratios of *simulated* quantities — fully deterministic, so
+    the regression tolerance guards modeling changes, not machine noise.
+    """
+    from repro.bench import perf
+
+    sys_res = results[system]
+    base_res = results[baseline]
+    prefix = f"{sys_res.query_id}_{sys_res.dataset}".lower()
+    speedup = (
+        base_res.end_to_end_seconds / sys_res.end_to_end_seconds
+        if sys_res.end_to_end_seconds
+        else 0.0
+    )
+    return {
+        "speedup": perf.record(
+            area,
+            f"{prefix}_jct_speedup",
+            speedup,
+            f">= {min_speedup}",
+            directory=directory,
+        ),
+        "phr": perf.record(
+            area,
+            f"{prefix}_phr",
+            sys_res.phr,
+            ">= 0.0",
+            directory=directory,
+        ),
+    }

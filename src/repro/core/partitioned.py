@@ -38,6 +38,7 @@ everything downstream (engine, pricing, accuracy) is unchanged.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -52,6 +53,8 @@ from repro.core.table import Cell, OrderedRow, ReorderTable
 from repro.errors import SolverError
 
 PARTITION_MODES = ("round_robin", "range", "clustered")
+
+logger = logging.getLogger(__name__)
 
 #: One partition's solve result in compact index form:
 #: (row order within the sub-table, per-row column orders, solve seconds).
@@ -89,6 +92,15 @@ class PartitionedResult:
     per_partition_seconds: List[float] = field(default_factory=list)
     n_workers: int = 1
     """Process-pool workers actually used (1 = sequential in-process)."""
+    start_method: str = "in-process"
+    """Process start method the pool ran under (``fork``/``spawn``/
+    ``forkserver``), or ``"in-process"`` for the sequential path — recorded
+    so bench runs on different platforms are comparable."""
+    worker_transport: str = "in-process"
+    """How the table reached the workers: ``"cow-fork"`` (inherited
+    copy-on-write), ``"shared-memory"`` (attached from a
+    ``multiprocessing.shared_memory`` segment, zero per-worker pickling),
+    ``"pickle"`` (serialized once per worker), or ``"in-process"``."""
 
     @property
     def critical_path_seconds(self) -> float:
@@ -161,6 +173,20 @@ def _solve_rows(
     return row_order, field_orders, seconds
 
 
+def _init_worker_shared(
+    handle,
+    fds: Optional[FunctionalDependencies],
+    config: Optional[GGRConfig],
+) -> None:
+    """Pool initializer for non-fork start methods: rebuild the table from
+    the parent's shared-memory segment instead of unpickling it — the only
+    bytes pickled per worker are the handle and the (small) solve config."""
+    from repro.core.compiled import attach_shared_table
+
+    global _WORKER_STATE
+    _WORKER_STATE = (attach_shared_table(handle), fds, config)
+
+
 def _solve_partition_job(row_ids: List[int]) -> _PartitionSolve:
     """Worker body: one pickled row-id list in, one compact layout out."""
     assert _WORKER_STATE is not None, "pool initializer did not run"
@@ -177,6 +203,7 @@ def partitioned_reorder(
     order_partitions: bool = True,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> PartitionedResult:
     """Solve each partition with GGR and stitch the schedules together.
 
@@ -185,8 +212,13 @@ def partitioned_reorder(
     rendered prefix so consecutive partitions may share cache state.
     ``parallel=True`` fans the per-partition solves out over a process
     pool; ``max_workers`` caps the pool (default: the CPUs available to
-    this process, bounded by the partition count). The parallel and
-    sequential paths return identical schedules.
+    this process, bounded by the partition count). ``start_method`` forces
+    the pool's process start method (``"fork"``/``"spawn"``/
+    ``"forkserver"``; default: prefer fork where available). Non-fork
+    workers attach the table from a shared-memory export of its dictionary
+    codes instead of unpickling it. All paths — parallel under any start
+    method, and sequential — return identical schedules; the chosen method
+    and table transport are recorded on the result.
     """
     if mode not in PARTITION_MODES:
         raise SolverError(f"mode must be one of {PARTITION_MODES}, got {mode!r}")
@@ -197,6 +229,8 @@ def partitioned_reorder(
     assignments = [p for p in _assign_partitions(table, n_partitions, mode) if p]
 
     start = time.perf_counter()
+    chosen_method = "in-process"
+    transport = "in-process"
     n_workers = 1
     if parallel and len(assignments) > 1:
         n_workers = min(max_workers or _available_cpus(), len(assignments))
@@ -204,23 +238,59 @@ def partitioned_reorder(
         import concurrent.futures
         import multiprocessing as mp
 
+        methods = mp.get_all_start_methods()
+        if start_method is not None and start_method not in methods:
+            raise SolverError(
+                f"start_method must be one of {methods}, got {start_method!r}"
+            )
+        ctx = mp.get_context(
+            start_method or ("fork" if "fork" in methods else None)
+        )
+        chosen_method = ctx.get_start_method()
+        shm = None
+        if chosen_method == "fork":
+            # Workers inherit the (immutable) table copy-on-write through
+            # the initializer args — nothing is pickled but row-id lists.
+            transport = "cow-fork"
+            initializer, initargs = _init_worker, (table, fds, config)
+        else:
+            from repro.core.compiled import HAVE_NUMPY, export_shared_table
+
+            if HAVE_NUMPY:
+                # Spawn/forkserver: export the dictionary codes once into
+                # shared memory; each worker attaches by name and rebuilds
+                # the table without the parent re-pickling it per worker.
+                transport = "shared-memory"
+                handle, shm = export_shared_table(table)
+                initializer, initargs = _init_worker_shared, (handle, fds, config)
+            else:
+                transport = "pickle"
+                initializer, initargs = _init_worker, (table, fds, config)
+        logger.info(
+            "partitioned_reorder pool: %d workers, start method %s, "
+            "table transport %s",
+            n_workers,
+            chosen_method,
+            transport,
+        )
         try:
-            # Prefer fork: workers inherit the (immutable) table through
-            # copy-on-write instead of a per-worker pickle.
-            methods = mp.get_all_start_methods()
-            ctx = mp.get_context("fork" if "fork" in methods else None)
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=n_workers,
                 mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(table, fds, config),
+                initializer=initializer,
+                initargs=initargs,
             ) as pool:
                 solves = list(pool.map(_solve_partition_job, assignments))
         except OSError:
             # Process pools can be unavailable (restricted sandboxes);
             # degrade to the in-process sequential path.
             n_workers = 1
+            chosen_method = transport = "in-process"
             solves = [_solve_rows(table, p, fds, config) for p in assignments]
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
     else:
         solves = [_solve_rows(table, p, fds, config) for p in assignments]
 
@@ -255,6 +325,8 @@ def partitioned_reorder(
         solver_seconds=elapsed,
         per_partition_seconds=per_partition,
         n_workers=n_workers,
+        start_method=chosen_method,
+        worker_transport=transport,
     )
 
 

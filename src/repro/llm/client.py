@@ -12,10 +12,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServingError
+from repro.llm.encode_cache import encode_cache_for
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
-from repro.llm.radix import pack_tokens
 from repro.llm.request import Request
 from repro.llm.scheduler import SLOReport, serving_online_enabled
 from repro.llm.tokenizer import HashTokenizer
@@ -75,19 +75,13 @@ class TraceResult:
 class SimulatedLLMClient:
     """Batch-generation client backed by :class:`SimulatedLLMEngine`.
 
-    ``encode`` results are memoized per prompt string: benchmark replays
-    send the same prompts (and the same short answer strings) over and over
-    — across invocations of a multi-stage query, across policies, across
-    repeated jobs — and re-tokenizing them dominated replay setup time.
-    Memoization is exact: the tokenizer's incremental vocabulary gives a
-    fixed string the same ids on every call. Returning the *same* tuple
-    object for a repeated prompt also lets the radix cache reuse its packed
-    probe across the match/insert/pin calls of identical prompts.
+    ``encode`` and ``count_tokens`` results are cached per prompt string in
+    the tokenizer's shared :class:`~repro.llm.encode_cache.EncodeCache`
+    (bounded, LRU): every consumer of the same tokenizer — this client, the
+    batch-inference server, other clients the bench runner spins up —
+    encodes each distinct prompt once. The cache survives
+    :meth:`reset_cache`, which replaces the engine but keeps the tokenizer.
     """
-
-    #: Bounded memo sizes (FIFO eviction); generous for any realistic
-    #: benchmark replay while keeping worst-case memory in check.
-    _MEMO_MAX = 1 << 16
 
     def __init__(
         self,
@@ -102,40 +96,22 @@ class SimulatedLLMClient:
         self.tokenizer = tokenizer or HashTokenizer()
         self.engine = SimulatedLLMEngine(model=model, cluster=cluster, config=self.engine_config)
         self._next_id = 0
-        self._encode_memo: Dict[str, Tuple[Tuple[int, ...], Optional[bytes]]] = {}
-        self._count_memo: Dict[str, int] = {}
+        self._encode_cache = encode_cache_for(self.tokenizer)
 
     def _encode_cached(self, text: str) -> Tuple[Tuple[int, ...], Optional[bytes]]:
-        """(token ids, packed bytes) for ``text``, memoized per string.
-
-        The packed form feeds the radix cache's allocation-free long-edge
-        compares; computing it here means each distinct prompt is packed
-        once, no matter how many times it is replayed.
-        """
-        memo = self._encode_memo
-        entry = memo.get(text)
-        if entry is None:
-            ids = tuple(self.tokenizer.encode(text))
-            entry = (ids, pack_tokens(ids))
-            if len(memo) >= self._MEMO_MAX:
-                memo.pop(next(iter(memo)))
-            memo[text] = entry
-        return entry
+        return self._encode_cache.encode(self.tokenizer, text)
 
     def count_tokens(self, text: str) -> int:
-        """Memoized token count of ``text`` — the public counting API used
+        """Cached token count of ``text`` — the public counting API used
         by the LLM operator's dedup/telemetry accounting."""
         return self._count_cached(text)
 
     def _count_cached(self, text: str) -> int:
-        memo = self._count_memo
-        n = memo.get(text)
-        if n is None:
-            n = self.tokenizer.count(text)
-            if len(memo) >= self._MEMO_MAX:
-                memo.pop(next(iter(memo)))
-            memo[text] = n
-        return n
+        return self._encode_cache.count(self.tokenizer, text)
+
+    def encode_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction telemetry of the shared encode cache."""
+        return self._encode_cache.stats()
 
     def generate(
         self,

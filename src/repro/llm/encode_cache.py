@@ -1,0 +1,128 @@
+"""Shared, bounded prompt-encode cache, attached per tokenizer.
+
+Benchmark replays send the same prompt strings over and over — across
+invocations of a multi-stage query, across scheduling policies, across
+repeated jobs — and re-tokenizing (and re-packing) them dominated replay
+setup time. Each :class:`~repro.llm.tokenizer.HashTokenizer` carries at
+most one :class:`EncodeCache`; every consumer holding the same tokenizer
+(clients, the batch-inference server's client, the bench runner's
+per-policy clients) shares it, so a prompt is encoded once per *tokenizer*
+rather than once per consumer. The cache survives
+``SimulatedLLMClient.reset_cache`` — that replaces the engine, not the
+tokenizer.
+
+Caching is exact: the tokenizer's incremental vocabulary gives a fixed
+string the same ids on every call, and returning the *same* tuple object
+for a repeated prompt lets the radix cache reuse its packed probe across
+the match/insert/pin calls of identical prompts.
+
+Eviction is LRU (the old per-client memos were unbounded-ish FIFO dicts),
+and hit/miss/eviction counts are kept for telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.llm.radix import pack_tokens
+
+#: Default entry bound per map — generous for any realistic benchmark
+#: replay while keeping worst-case memory in check.
+DEFAULT_MAX_ENTRIES = 1 << 16
+
+
+class EncodeCache:
+    """LRU maps of prompt string -> encode result, with telemetry.
+
+    Two maps are kept: ``encode`` entries hold ``(ids tuple, packed
+    bytes)``; ``count`` entries hold bare token counts for strings that
+    were only ever counted (counting does not intern into the tokenizer's
+    vocabulary, so it is cheaper than a full encode). A count request for
+    an already-encoded string is answered from the encode entry without
+    touching the count map.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._encode: "OrderedDict[str, Tuple[Tuple[int, ...], bytes]]" = (
+            OrderedDict()
+        )
+        self._count: "OrderedDict[str, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._encode) + len(self._count)
+
+    def encode(self, tokenizer, text: str) -> Tuple[Tuple[int, ...], bytes]:
+        """(token ids, packed bytes) for ``text`` via ``tokenizer``,
+        cached. The packed form feeds the radix cache's allocation-free
+        long-edge compares; computing it here means each distinct prompt
+        is packed once, no matter how many times it is replayed."""
+        memo = self._encode
+        entry = memo.get(text)
+        if entry is not None:
+            self.hits += 1
+            memo.move_to_end(text)
+            return entry
+        self.misses += 1
+        ids = tuple(tokenizer.encode(text))
+        entry = (ids, pack_tokens(ids))
+        if len(memo) >= self.max_entries:
+            memo.popitem(last=False)
+            self.evictions += 1
+        memo[text] = entry
+        return entry
+
+    def count(self, tokenizer, text: str) -> int:
+        """Token count of ``text`` via ``tokenizer``, cached."""
+        encoded = self._encode.get(text)
+        if encoded is not None:
+            self.hits += 1
+            self._encode.move_to_end(text)
+            return len(encoded[0])
+        memo = self._count
+        n = memo.get(text)
+        if n is not None:
+            self.hits += 1
+            memo.move_to_end(text)
+            return n
+        self.misses += 1
+        n = tokenizer.count(text)
+        if len(memo) >= self.max_entries:
+            memo.popitem(last=False)
+            self.evictions += 1
+        memo[text] = n
+        return n
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._encode.clear()
+        self._count.clear()
+
+
+def encode_cache_for(
+    tokenizer, max_entries: Optional[int] = None
+) -> EncodeCache:
+    """The tokenizer's attached :class:`EncodeCache`, created on first use.
+
+    All consumers of one tokenizer share one cache; ``max_entries`` only
+    applies when this call creates the cache.
+    """
+    cache = getattr(tokenizer, "_encode_cache", None)
+    if cache is None:
+        cache = EncodeCache(max_entries or DEFAULT_MAX_ENTRIES)
+        tokenizer._encode_cache = cache
+    return cache

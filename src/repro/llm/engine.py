@@ -13,10 +13,25 @@ server uses:
 * every decode step produces one token per running sequence and costs
   bandwidth-bound time (weights amortized over the batch).
 
-Two replay modes produce the same integer metrics (and clocks equal to
+Three replay modes produce the same integer metrics (and clocks equal to
 float rounding):
 
-``mode="event"`` (default)
+``mode="vector"`` (default when numpy is available)
+    The event-driven replay below, with its per-request Python state
+    vectorized: request metrics live in numpy arrays keyed by a dense
+    request index (``RequestMetrics`` objects are materialized once, in
+    bulk, at the end of the run), admission waves stamp clocks with one
+    fancy-indexed assignment, a request's prompt-path block references are
+    forked and released as a single bundle
+    (:meth:`RadixPrefixCache.fork_path_bundle`), and the block pool itself
+    runs on the numpy backend (``BlockManager(vector=True)``). The clock
+    arithmetic is the *same sequence of scalar float operations* as
+    ``"event"``, so the two produce bit-identical clocks, not merely
+    rounding-equal ones. ``REPRO_SERVING_VECTOR=0`` selects ``"event"``
+    instead, keeping the scalar implementation available as the
+    one-layer-up oracle.
+
+``mode="event"``
     Event-driven: between admission and completion events the batch
     composition is fixed, so the clock advances over whole runs of decode
     steps with the closed-form arithmetic-series sum
@@ -75,7 +90,12 @@ from heapq import heappop, heappush
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, ServingError
-from repro.llm.blocks import BlockAllocation, BlockManager, paged_accounting_enabled
+from repro.llm.blocks import (
+    BlockAllocation,
+    BlockManager,
+    paged_accounting_enabled,
+    serving_vector_enabled,
+)
 from repro.llm.costmodel import CostModel
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
@@ -90,6 +110,11 @@ from repro.llm.scheduler import (
     serving_online_enabled,
 )
 
+try:  # numpy backs mode="vector"; without it the scalar modes remain.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
 
 @dataclass
 class EngineConfig:
@@ -98,9 +123,12 @@ class EngineConfig:
     ``max_batch_size`` caps concurrent sequences (vLLM ``max_num_seqs``);
     ``kv_capacity_tokens`` overrides the cost model's derived capacity
     (useful for the memory-pressure ablation); ``mode`` selects the replay
-    engine: ``"event"`` (closed-form multi-step advance), ``"stepwise"``
-    (per-token reference loop), or ``"auto"`` (event unless
-    ``REPRO_SERVING_FASTPATH=0``); ``kv_accounting`` selects the admission
+    engine: ``"vector"`` (numpy request state over the event loop),
+    ``"event"`` (closed-form multi-step advance, scalar state),
+    ``"stepwise"`` (per-token reference loop), or ``"auto"`` (vector
+    unless ``REPRO_SERVING_VECTOR=0`` drops it to event, or
+    ``REPRO_SERVING_FASTPATH=0`` forces stepwise); ``kv_accounting``
+    selects the admission
     model: ``"paged"`` (block-granular, vLLM-style), ``"tokens"`` (the
     token-sum oracle), or ``"auto"`` (paged unless
     ``REPRO_SERVING_PAGED=0``); ``block_tokens`` is the paged block size
@@ -123,8 +151,11 @@ class EngineConfig:
 @dataclass
 class _Running:
     request: Request
-    metrics: RequestMetrics
+    #: None in vector mode, where the per-request metric fields live in the
+    #: run's :class:`_VectorState` arrays at row ``idx`` instead.
+    metrics: Optional[RequestMetrics]
     reserved_tokens: int
+    idx: int = -1
     decoded: int = 0
     pin: Optional[object] = None
     #: Paged accounting only: forked references to the shared blocks of the
@@ -189,10 +220,111 @@ class EngineResult:
 
 def _resolve_mode(mode: str) -> str:
     if mode == "auto":
-        return "event" if serving_fastpath_enabled() else "stepwise"
-    if mode not in ("event", "stepwise"):
+        if not serving_fastpath_enabled():
+            return "stepwise"
+        return "vector" if serving_vector_enabled() else "event"
+    if mode not in ("vector", "event", "stepwise"):
         raise ServingError(f"unknown engine mode {mode!r}")
+    if mode == "vector" and _np is None:
+        raise ServingError("mode='vector' requires numpy")
     return mode
+
+
+class _VectorState:
+    """Per-run SoA request state for ``mode="vector"``: one dense row per
+    admitted request, numpy columns for every :class:`RequestMetrics`
+    field. The replay loop stamps clocks into rows by index (whole
+    admission waves in one fancy-indexed assignment); :meth:`settle` sorts
+    by request id and materializes the ``RequestMetrics`` list — plus the
+    run's aggregate token sums — in bulk at the end of the run."""
+
+    __slots__ = (
+        "n", "_cap", "req_id", "prompt", "cached", "prefill",
+        "out", "arrival", "admitted", "first", "finished", "tenants",
+    )
+
+    def __init__(self, capacity_hint: int):
+        self._cap = max(16, capacity_hint)
+        self.n = 0
+        # Admission-time constants are append-only: plain list appends beat
+        # numpy scalar stores, and one bulk conversion at settle() suffices.
+        self.req_id: List[int] = []
+        self.prompt: List[int] = []
+        self.cached: List[int] = []
+        self.prefill: List[int] = []
+        self.arrival: List[float] = []
+        self.tenants: List[str] = []
+        # Replay-time stamps land at random row indices as events fire, so
+        # these are numpy from the start. Zero-initialized: a zero-output
+        # request's first-token stamp keeps the RequestMetrics default of
+        # 0.0, like the scalar modes.
+        self.out = _np.zeros(self._cap, dtype=_np.int64)
+        self.admitted = _np.zeros(self._cap, dtype=_np.float64)
+        self.first = _np.zeros(self._cap, dtype=_np.float64)
+        self.finished = _np.zeros(self._cap, dtype=_np.float64)
+
+    def add(self, req: Request, cached: int, prefill: int) -> int:
+        i = self.n
+        if i == self._cap:
+            self._cap *= 2
+            for name in ("out", "admitted", "first", "finished"):
+                arr = getattr(self, name)
+                grown = _np.zeros(self._cap, dtype=arr.dtype)
+                grown[:i] = arr
+                setattr(self, name, grown)
+        self.req_id.append(req.request_id)
+        self.prompt.append(req.prompt_len)
+        self.cached.append(cached)
+        self.prefill.append(prefill)
+        self.arrival.append(req.arrival_s)
+        self.tenants.append(req.tenant)
+        self.n = i + 1
+        return i
+
+    def settle(self) -> Tuple[List[RequestMetrics], int, int, int, int]:
+        """(metrics sorted by request id, prompt/cached/prefill/decode
+        token sums)."""
+        n = self.n
+        req_id = _np.asarray(self.req_id, dtype=_np.int64)
+        order = _np.argsort(req_id, kind="stable")
+        tenants = self.tenants
+        prompt = _np.asarray(self.prompt, dtype=_np.int64)
+        cached = _np.asarray(self.cached, dtype=_np.int64)
+        prefill = _np.asarray(self.prefill, dtype=_np.int64)
+        arrival = _np.asarray(self.arrival, dtype=_np.float64)
+        metrics = [
+            RequestMetrics(
+                request_id=rid,
+                prompt_tokens=pt,
+                cached_tokens=ct,
+                prefill_tokens=ft,
+                output_tokens=ot,
+                admitted_at_s=ad,
+                first_token_at_s=fi,
+                finished_at_s=fin,
+                arrival_s=ar,
+                tenant=tenants[i],
+            )
+            for rid, pt, ct, ft, ot, ad, fi, fin, ar, i in zip(
+                req_id[order].tolist(),
+                prompt[order].tolist(),
+                cached[order].tolist(),
+                prefill[order].tolist(),
+                self.out[:n][order].tolist(),
+                self.admitted[:n][order].tolist(),
+                self.first[:n][order].tolist(),
+                self.finished[:n][order].tolist(),
+                arrival[order].tolist(),
+                order.tolist(),
+            )
+        ]
+        return (
+            metrics,
+            int(prompt.sum()),
+            int(cached.sum()),
+            int(prefill.sum()),
+            int(self.out[:n].sum()),
+        )
 
 
 def _resolve_accounting(accounting: str) -> str:
@@ -245,17 +377,24 @@ class SimulatedLLMEngine:
         # cache attaches per-node allocations to it. Capacity is floored to
         # whole blocks, exactly as a real paged allocator would.
         self.blocks: Optional[BlockManager] = (
-            BlockManager(self.capacity_tokens, self.block_tokens)
+            BlockManager(
+                self.capacity_tokens,
+                self.block_tokens,
+                vector=self.mode == "vector",
+            )
             if self.kv_accounting == "paged"
             else None
         )
         # The oracle mode keeps the scan-based cache so REPRO_SERVING_FASTPATH=0
         # reproduces the original implementation end to end.
         self.cache = RadixPrefixCache(
-            eviction="heap" if self.mode == "event" else "scan",
+            eviction="scan" if self.mode == "stepwise" else "heap",
             block_manager=self.blocks,
         )
-        self._use_pins = self.mode == "event"
+        self._use_pins = self.mode != "stepwise"
+        #: Live only inside a vector-mode run(); _admit/_finish stamp into
+        #: it instead of per-request RequestMetrics objects when set.
+        self._vstate: Optional[_VectorState] = None
         #: Arrived-but-unadmitted requests live in the scheduling policy;
         #: not-yet-arrived requests wait in a (arrival_s, seq) heap and are
         #: released into the policy as the clock passes their stamp.
@@ -338,6 +477,8 @@ class SimulatedLLMEngine:
         # and its block pool — persist across runs.
         self._peak_blocks = 0
         self._frag_at_peak = 0
+        if self.mode == "vector":
+            return self._run_event_vector()
         if self.mode == "event":
             return self._run_event()
         return self._run_stepwise()
@@ -497,6 +638,122 @@ class SimulatedLLMEngine:
                 self._finish(m, done)
 
         return self._result(done, decode_steps, peak, max_batch_seen)
+
+    # ------------------------------------------------- vectorized event mode
+    def _run_event_vector(self) -> EngineResult:
+        """The event loop of :meth:`_run_event` over numpy request state:
+        identical control flow and — critically — the identical sequence
+        of scalar float operations on the clock, so clocks (and therefore
+        schedules, including online arrival cuts) are bit-identical to the
+        scalar event mode. What changes is the per-request Python work:
+        metric stamps land in :class:`_VectorState` rows (whole admission
+        waves per assignment), prompt-path block references fork/release
+        as one bundle per request, and ``RequestMetrics`` objects plus the
+        aggregate token sums materialize in bulk at the end of the run."""
+        vect = _VectorState(len(self.scheduler) + len(self._future))
+        self._vstate = vect
+        try:
+            done: List[RequestMetrics] = []  # unused rows; settle() reports
+            peak = 0
+            decode_steps = 0
+            max_batch_seen = 0
+
+            completions: List[Tuple[int, int, _Running]] = []
+            order = 0
+            batch = 0
+            context_sum = 0
+            step = 0
+            fresh: List[int] = []  # vector-state rows awaiting first token
+
+            while len(self.scheduler) or self._future or batch:
+                wave: List[_Running] = []
+                self._admit(wave, n_active=batch)
+                if batch == 0 and not wave:
+                    if len(self.scheduler):
+                        raise ServingError("admission stalled with empty batch")
+                    if self._future:
+                        self._clock = max(self._clock, self._future[0][0])
+                        continue
+                    break
+                max_batch_seen = max(max_batch_seen, batch + len(wave))
+                peak = max(peak, self._sample_usage())
+
+                retired = False
+                for m in wave:
+                    if m.request.output_tokens == 0:
+                        self._finish(m, done)
+                        retired = True
+                    else:
+                        batch += 1
+                        context_sum += m.request.prompt_len
+                        heappush(
+                            completions,
+                            (step + m.request.output_tokens, order, m),
+                        )
+                        order += 1
+                        fresh.append(m.idx)
+                if batch == 0:
+                    continue
+
+                steps = completions[0][0] - step
+                if (
+                    retired
+                    and len(self.scheduler)
+                    and batch < self.config.max_batch_size
+                    and steps > 1
+                ):
+                    steps = 1
+                if (
+                    self._future
+                    and steps > 1
+                    and batch < self.config.max_batch_size
+                ):
+                    steps = self._cap_steps_at_arrival(
+                        context_sum, batch, steps, self._future[0][0]
+                    )
+                first_dt = self.cost.decode_run_time(context_sum, batch, 1)
+                total_dt = (
+                    first_dt
+                    if steps == 1
+                    else self.cost.decode_run_time(context_sum, batch, steps)
+                )
+                start = self._clock
+                self._clock = start + total_dt
+                decode_steps += steps
+                step += steps
+                context_sum += batch * steps
+                if fresh:
+                    if len(fresh) == 1:  # steady state: one admission/event
+                        vect.first[fresh[0]] = start + first_dt
+                    else:
+                        vect.first[fresh] = start + first_dt
+                    fresh.clear()
+                while completions and completions[0][0] <= step:
+                    _, _, m = heappop(completions)
+                    m.decoded = m.request.output_tokens
+                    batch -= 1
+                    context_sum -= m.context_len
+                    self._finish(m, done)
+
+            metrics, prompt, cached, prefill, decode = vect.settle()
+            return EngineResult(
+                total_seconds=self._clock,
+                request_metrics=metrics,
+                prompt_tokens=prompt,
+                cached_tokens=cached,
+                prefill_tokens=prefill,
+                decode_tokens=decode,
+                decode_steps=decode_steps,
+                peak_kv_tokens=peak,
+                max_batch_seen=max_batch_seen,
+                kv_accounting=self.kv_accounting,
+                block_tokens=self.block_tokens if self.blocks is not None else 0,
+                peak_kv_blocks=self._peak_blocks,
+                fragmentation_tokens=self._frag_at_peak,
+                scheduler=self.scheduler_name,
+            )
+        finally:
+            self._vstate = None
 
     # ------------------------------------------------------------ internals
     def _result(
@@ -658,6 +915,7 @@ class SimulatedLLMEngine:
                 cache.insert(req.prompt_tokens, req.prompt_bytes)
                 if self._use_pins:
                     pin = cache.pin(req.prompt_tokens)
+            vect = self._vstate
             forks = tail = None
             if bm is not None:
                 if cache_on:
@@ -666,7 +924,13 @@ class SimulatedLLMEngine:
                     # vLLM sequence forked from a cached prefix. The suffix
                     # blocks were just drawn by insert(); only the decode
                     # tail stays reserved.
-                    forks = cache.fork_path(req.prompt_tokens)
+                    if vect is not None:
+                        # One bundle, one vectorized refcount pass, instead
+                        # of a fork per radix node.
+                        bundle = cache.fork_path_bundle(req.prompt_tokens)
+                        forks = [bundle] if bundle is not None else None
+                    else:
+                        forks = cache.fork_path(req.prompt_tokens)
                     tail = bm.allocate(0)
                     self._reserved_blocks += bm.blocks_needed(req.output_tokens)
                 else:
@@ -674,18 +938,24 @@ class SimulatedLLMEngine:
                     self._reserved_blocks += need - len(tail.block_ids)
             self._private_tokens += private_growth
 
-            metrics = RequestMetrics(
-                request_id=req.request_id,
-                prompt_tokens=prompt_len,
-                cached_tokens=hit,
-                prefill_tokens=new_prompt,
-                arrival_s=req.arrival_s,
-                tenant=req.tenant,
-            )
+            if vect is not None:
+                metrics = None
+                idx = vect.add(req, hit, new_prompt)
+            else:
+                idx = -1
+                metrics = RequestMetrics(
+                    request_id=req.request_id,
+                    prompt_tokens=prompt_len,
+                    cached_tokens=hit,
+                    prefill_tokens=new_prompt,
+                    arrival_s=req.arrival_s,
+                    tenant=req.tenant,
+                )
             member = _Running(
                 request=req,
                 metrics=metrics,
                 reserved_tokens=private_growth,
+                idx=idx,
                 pin=pin,
                 forks=forks,
                 tail=tail,
@@ -700,8 +970,15 @@ class SimulatedLLMEngine:
             # Per-request serving overhead is charged here too.
             self._clock += self.cost.prefill_wave_time(wave)
             self._clock += self.cost.per_request_overhead_s * len(wave_members)
-            for member in wave_members:
-                member.metrics.admitted_at_s = self._clock
+            vect = self._vstate
+            if vect is not None:
+                if len(wave_members) == 1:
+                    vect.admitted[wave_members[0].idx] = self._clock
+                else:
+                    vect.admitted[[m.idx for m in wave_members]] = self._clock
+            else:
+                for member in wave_members:
+                    member.metrics.admitted_at_s = self._clock
 
     def _finish(self, r: _Running, done: List[RequestMetrics]) -> None:
         self._private_tokens -= r.reserved_tokens
@@ -719,15 +996,39 @@ class SimulatedLLMEngine:
             target = r.decoded + (
                 0 if self.config.enable_prefix_cache else r.request.prompt_len
             )
-            if r.tail.n_tokens < target:
-                self._grow_tail(r, target - r.tail.n_tokens)
-            self.blocks.release(r.tail)
+            if r.metrics is None:
+                # Vector mode: growing the tail here would draw blocks and
+                # free them in the same breath — nothing between the grow
+                # and the release ever observes the pool, so the round trip
+                # is visible only through the reservation counter. Settle
+                # that counter directly and release the pre-drawn blocks.
+                tail = r.tail
+                draw = (
+                    self.blocks.blocks_needed(tail.start_offset + target)
+                    - len(tail.block_ids)
+                )
+                if draw > 0:
+                    self._reserved_blocks -= draw
+                    if self._reserved_blocks < 0:
+                        raise ServingError(
+                            "decode block reservation went negative"
+                        )
+                self.blocks.release(tail)
+            else:
+                if r.tail.n_tokens < target:
+                    self._grow_tail(r, target - r.tail.n_tokens)
+                self.blocks.release(r.tail)
             r.tail = None
         if r.forks:
             for fork in r.forks:
                 self.blocks.release(fork)
             r.forks = None
-        r.metrics.output_tokens = r.decoded
-        r.metrics.finished_at_s = self._clock
-        done.append(r.metrics)
+        if r.metrics is not None:
+            r.metrics.output_tokens = r.decoded
+            r.metrics.finished_at_s = self._clock
+            done.append(r.metrics)
+        else:
+            vect = self._vstate
+            vect.out[r.idx] = r.decoded
+            vect.finished[r.idx] = self._clock
         self._admission_blocked = False

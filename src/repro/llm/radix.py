@@ -442,6 +442,74 @@ class RadixPrefixCache:
             cur = cur.parent
         return forks
 
+    def fork_path_bundle(self, tokens: Sequence[int]) -> Optional[BlockAllocation]:
+        """Single-allocation variant of :meth:`fork_path` for the
+        vectorized engine: the block ids of every node on the cached path
+        are concatenated and forked in one refcount pass
+        (:meth:`BlockManager.fork_ids`), so admitting a request costs one
+        vector operation over ~path-length ids instead of one fork per
+        radix node. The ids form a multiset — a block straddling an edge
+        split belongs to two adjacent nodes and is referenced once per
+        node, exactly as the per-node forks would. Returns None without a
+        block manager or when nothing of ``tokens`` is cached; the engine
+        releases the bundle at completion."""
+        if self._bm is None:
+            return None
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        cur: Optional[_Node] = self._resolve_end(tokens)
+        if cur is None:
+            return None
+        bm = self._bm
+        extra: List[int] = []
+        n_tokens = 0
+        root = self.root
+        if bm.vector:
+            # Per-node id arrays are memoized on the allocations, so the
+            # bundle is a concatenate of cached arrays — no per-id work.
+            parts: List[object] = []
+            while cur is not None and cur is not root:
+                alloc = cur.alloc
+                if alloc is None:
+                    raise ServingError(
+                        f"node {cur.node_id} has no block allocation to fork"
+                    )
+                arr = alloc.ids_arr
+                if arr is None:
+                    arr = bm.ids_array(alloc)
+                parent = cur.parent
+                if alloc.start_offset and parent is not None and parent is not root:
+                    # A nonzero start offset means this edge begins
+                    # mid-block: its first block is the straddle shared
+                    # with — and listed last in — the parent edge's
+                    # allocation, so it enters the distinct set via the
+                    # parent and only its second occurrence is recorded
+                    # here.
+                    extra.append(alloc.block_ids[0])
+                    parts.append(arr[1:])
+                else:
+                    parts.append(arr)
+                n_tokens += alloc.n_tokens
+                cur = parent
+            return bm.fork_bundle_parts(parts, extra, n_tokens)
+        base: List[int] = []
+        while cur is not None and cur is not root:
+            alloc = cur.alloc
+            if alloc is None:
+                raise ServingError(
+                    f"node {cur.node_id} has no block allocation to fork"
+                )
+            bids = alloc.block_ids
+            parent = cur.parent
+            if alloc.start_offset and parent is not None and parent is not root:
+                extra.append(bids[0])
+                base.extend(bids[1:])
+            else:
+                base.extend(bids)
+            n_tokens += alloc.n_tokens
+            cur = parent
+        return self._bm.fork_bundle(base, extra, n_tokens)
+
     # ------------------------------------------------------ legacy walkers
     def path_node_ids(self, tokens: Sequence[int]) -> Set[int]:
         """Ids of nodes along the cached path of ``tokens`` (tolerant walk:
@@ -623,6 +691,20 @@ class RadixPrefixCache:
                             f"{node.alloc.n_tokens} tokens for a "
                             f"{len(node.edge)}-token edge"
                         )
+                    # The structural fact fork_path_bundle's straddle
+                    # detection rests on: an edge starting mid-block shares
+                    # that block with its parent edge, where it is last.
+                    if node.alloc.start_offset and node.parent is not self.root:
+                        parent_alloc = node.parent.alloc
+                        if (
+                            parent_alloc is None
+                            or parent_alloc.block_ids[-1]
+                            != node.alloc.block_ids[0]
+                        ):
+                            raise ServingError(
+                                f"node {node.node_id} straddle block out of "
+                                f"sync with parent allocation"
+                            )
                 count += len(node.edge)
             if node.pin_count < 0 or node.lock_ref < 0:
                 raise ServingError("negative pin refcount")

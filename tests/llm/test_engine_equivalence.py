@@ -184,8 +184,16 @@ class TestRandomizedEquivalence:
 
 
 class TestEventModeBasics:
-    def test_default_mode_is_event(self, monkeypatch):
+    def test_default_mode_is_vector(self, monkeypatch):
         monkeypatch.delenv("REPRO_SERVING_FASTPATH", raising=False)
+        monkeypatch.delenv("REPRO_SERVING_VECTOR", raising=False)
+        eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
+        assert eng.mode == "vector"
+        assert eng.cache.eviction == "heap"
+
+    def test_vector_flag_selects_scalar_event(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVING_FASTPATH", raising=False)
+        monkeypatch.setenv("REPRO_SERVING_VECTOR", "0")
         eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
         assert eng.mode == "event"
         assert eng.cache.eviction == "heap"
@@ -198,7 +206,7 @@ class TestEventModeBasics:
 
     def test_capacity_error_in_both_modes(self):
         big = Request(0, tuple(range(2000)), 10)
-        for mode in ("event", "stepwise"):
+        for mode in ("vector", "event", "stepwise"):
             eng = SimulatedLLMEngine(
                 LLAMA3_8B,
                 CLUSTER_1XL4,
