@@ -13,7 +13,7 @@ rate (measured, not assumed). Every policy records its p95 TTFT in the
 benchmark's extra info.
 """
 
-from conftest import run_once
+from conftest import perf_record, run_once
 
 from repro.llm.client import SimulatedLLMClient
 from repro.llm.engine import EngineConfig
@@ -111,13 +111,18 @@ def bench_trace_prefix_affinity(benchmark):
         baseline.prefix_hit_rate, 4
     )
     if serving_online_enabled():
-        assert res.prefix_hit_rate >= 1.2 * max(
-            baseline.prefix_hit_rate, 1e-9
-        ), (
+        phr_ratio = res.prefix_hit_rate / max(baseline.prefix_hit_rate, 1e-9)
+        assert phr_ratio >= 1.2, (
             f"prefix-affinity PHR {res.prefix_hit_rate:.3f} vs fcfs "
             f"{baseline.prefix_hit_rate:.3f}: below the 1.2x bar"
         )
         assert res.slo.ttft.p95 <= baseline.slo.ttft.p95
+        perf_record(
+            "scheduler",
+            "scheduler_prefix_affinity_phr_ratio",
+            phr_ratio,
+            ">= 1.2",
+        )
     else:
         assert res.scheduler == "fcfs"
 
@@ -154,10 +159,10 @@ def bench_trace_bursty_fair_share(benchmark):
         for i, t in enumerate(bg)
     ]
     trace = WorkloadTrace(reqs, name="bursty-vs-steady")
+    cfg = dict(max_batch_size=4, kv_capacity_tokens=1600)
+    baseline = _replay(trace, "fcfs", **cfg)
     res = run_once(
-        benchmark,
-        lambda: _replay(trace, "fair-share", max_batch_size=4,
-                        kv_capacity_tokens=1600),
+        benchmark, lambda: _replay(trace, "fair-share", **cfg)
     )
     _record(benchmark, res)
     per_tenant = res.slo.per_tenant
@@ -167,3 +172,18 @@ def bench_trace_bursty_fair_share(benchmark):
     benchmark.extra_info["burst_p95_ttft_s"] = round(
         per_tenant["burst"].ttft.p95, 4
     )
+    fcfs_steady_p95 = baseline.slo.per_tenant["steady"].ttft.p95
+    benchmark.extra_info["fcfs_steady_p95_ttft_s"] = round(fcfs_steady_p95, 4)
+    if serving_online_enabled():
+        # How much the DRR quantum shields the steady background tenant
+        # from the foreground burst, vs letting fcfs drown it.
+        ratio = fcfs_steady_p95 / max(
+            per_tenant["steady"].ttft.p95, 1e-9
+        )
+        assert ratio >= 1.2
+        perf_record(
+            "scheduler",
+            "scheduler_fair_share_steady_p95_ttft_ratio",
+            ratio,
+            ">= 1.2",
+        )

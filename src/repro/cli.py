@@ -14,7 +14,14 @@ estimated LLM prompt tokens per operator.
 loads, ``--trace``) a 3-tenant arrival-timed workload over the benchmark
 query suite and replays it under every scheduling policy (``--policy``
 narrows the set), printing prefix hit rate, p50/p95/p99 TTFT and goodput
-per policy plus a per-tenant SLO table.
+per policy plus a per-tenant SLO table and the shared encode cache's
+hit/miss telemetry.
+
+``repro serve-cluster`` replays the same workload across a replica fleet
+(``--replicas``, default 4) under every routing policy (``--routing``
+narrows the set; ``--backend spawn`` runs replicas in real processes),
+printing aggregate PHR, goodput, load skew and makespan per policy plus
+the winning policy's per-replica table.
 """
 
 from __future__ import annotations
@@ -37,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', 'explain', or 'serve-trace'",
+        help="experiment name, 'all', 'list', 'explain', 'serve-trace', "
+             "or 'serve-cluster'",
     )
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale factor (1.0 = paper size)")
@@ -68,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "accounting in 'repro serve-trace'")
     parser.add_argument("--save-trace", type=str, default=None,
                         help="also write the synthesized trace JSON here")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="replica count for 'repro serve-cluster'")
+    parser.add_argument("--routing", type=str, default=None,
+                        help="comma-separated routing policies for "
+                             "'repro serve-cluster' (default: all)")
+    parser.add_argument("--backend", type=str, default="inline",
+                        help="cluster execution backend for 'repro "
+                             "serve-cluster': inline or spawn")
     return parser
 
 
@@ -96,13 +112,11 @@ def run_explain(sql: Optional[str], scale: Optional[float], seed: int) -> str:
     return db.explain(sql or EXPLAIN_DEMO_SQL)
 
 
-def run_serve_trace(args) -> str:
-    """Replay an arrival-timed trace under each scheduling policy and
-    render the policy comparison + per-tenant SLO tables."""
+def _serve_trace_from_args(args):
+    """The workload for the serving demos: the ``--trace`` file when
+    given, else a synthesized 3-tenant mix over the benchmark query
+    suite (optionally teed to ``--save-trace``)."""
     from repro.bench.reporting import default_scale
-    from repro.llm.client import SimulatedLLMClient
-    from repro.llm.engine import EngineConfig
-    from repro.llm.scheduler import SCHEDULER_POLICIES, serving_online_enabled
     from repro.llm.workload import (
         TenantSpec,
         WorkloadTrace,
@@ -110,18 +124,13 @@ def run_serve_trace(args) -> str:
         synthesize_tenant_trace,
     )
 
-    scale = args.scale or default_scale(0.01)
-    policies = (
-        [p.strip() for p in args.policy.split(",") if p.strip()]
-        if args.policy
-        else list(SCHEDULER_POLICIES)
-    )
     if args.trace:
         trace = WorkloadTrace.load(args.trace)
     else:
         # Three tenants over real suite queries: two unordered streams that
         # interleave against each other plus one GGR-reordered stream —
         # the cross-tenant cache-interference shape the policies differ on.
+        scale = args.scale or default_scale(0.01)
         tenants = [
             TenantSpec("analytics", "movies-T1", policy="original", weight=1.0),
             TenantSpec("reviews", "products-T1", policy="original", weight=1.0),
@@ -136,23 +145,53 @@ def run_serve_trace(args) -> str:
         )
     if args.save_trace:
         trace.save(args.save_trace)
+    return trace
 
-    lines = [
+
+def _trace_header(trace, suffix: str = "") -> str:
+    return (
         f"trace {trace.name!r}: {trace.n_requests} requests, "
         f"{len(trace.tenants)} tenants "
         f"({', '.join(trace.tenants)}), "
         f"{trace.duration_s:.2f}s span, "
-        f"~{trace.offered_rate_rps():.1f} req/s offered"
-        + ("" if serving_online_enabled() else "  [REPRO_SERVING_ONLINE=0: "
-           "offline replay, fcfs only]"),
+        f"~{trace.offered_rate_rps():.1f} req/s offered" + suffix
+    )
+
+
+def run_serve_trace(args) -> str:
+    """Replay an arrival-timed trace under each scheduling policy and
+    render the policy comparison + per-tenant SLO tables."""
+    from repro.llm.client import SimulatedLLMClient
+    from repro.llm.engine import EngineConfig
+    from repro.llm.scheduler import SCHEDULER_POLICIES, serving_online_enabled
+    from repro.llm.tokenizer import HashTokenizer
+
+    policies = (
+        [p.strip() for p in args.policy.split(",") if p.strip()]
+        if args.policy
+        else list(SCHEDULER_POLICIES)
+    )
+    trace = _serve_trace_from_args(args)
+
+    lines = [
+        _trace_header(
+            trace,
+            "" if serving_online_enabled() else "  [REPRO_SERVING_ONLINE=0: "
+            "offline replay, fcfs only]",
+        ),
         "",
         "policy            phr     p50_ttft  p95_ttft  p99_ttft  e2e_p95"
         "   goodput    makespan",
     ]
+    # One tokenizer across the per-policy clients: each distinct prompt is
+    # encoded once for the whole sweep, and the shared encode cache's
+    # telemetry below shows the cross-policy reuse.
+    tokenizer = HashTokenizer()
     last = None
     for policy in policies:
         client = SimulatedLLMClient(
-            engine_config=EngineConfig(scheduler=policy, max_batch_size=16)
+            engine_config=EngineConfig(scheduler=policy, max_batch_size=16),
+            tokenizer=tokenizer,
         )
         res = client.generate_trace(trace, deadline_s=args.deadline)
         s = res.slo
@@ -163,9 +202,81 @@ def run_serve_trace(args) -> str:
             f"{res.total_seconds:8.2f}s"
         )
         last = res
+        ec_stats = client.encode_cache_stats()
     if last is not None:
+        ec_lookups = ec_stats["hits"] + ec_stats["misses"]
+        ec_rate = ec_stats["hits"] / ec_lookups if ec_lookups else 0.0
+        lines.append(
+            f"encode cache: {ec_stats['hits']} hits / "
+            f"{ec_stats['misses']} misses ({100 * ec_rate:.1f}%), "
+            f"{ec_stats['entries']} entries, "
+            f"{ec_stats['evictions']} evictions"
+        )
         lines.append("")
         lines.append(last.slo.render(f"per-tenant SLO ({last.scheduler})"))
+    return "\n".join(lines)
+
+
+def run_serve_cluster(args) -> str:
+    """Replay an arrival-timed trace across a replica fleet under each
+    routing policy and render the comparison + the last policy's
+    per-replica table."""
+    from repro.llm.cluster import (
+        ROUTING_POLICIES,
+        ClusterConfig,
+        ClusterEngine,
+        serving_cluster_enabled,
+    )
+    from repro.llm.engine import EngineConfig
+    from repro.llm.tokenizer import HashTokenizer
+
+    routings = (
+        [r.strip() for r in args.routing.split(",") if r.strip()]
+        if args.routing
+        else list(ROUTING_POLICIES)
+    )
+    trace = _serve_trace_from_args(args)
+
+    lines = [
+        _trace_header(
+            trace,
+            "" if serving_cluster_enabled() else "  [REPRO_SERVING_CLUSTER=0: "
+            "single-replica reference]",
+        ),
+        "",
+        "routing            replicas  phr     goodput   skew    makespan"
+        "  backend",
+    ]
+    tokenizer = HashTokenizer()
+    last = None
+    for routing in routings:
+        engine = ClusterEngine(
+            config=ClusterConfig(
+                n_replicas=args.replicas,
+                routing=routing,
+                backend=args.backend,
+                engine=EngineConfig(max_batch_size=16),
+            ),
+            tokenizer=tokenizer,
+        )
+        res = engine.run_trace(trace, deadline_s=args.deadline)
+        lines.append(
+            f"{res.routing:<18} {res.n_replicas:>8}  "
+            f"{100 * res.prefix_hit_rate:5.1f}%  "
+            f"{100 * res.goodput_attainment:6.1f}%  {res.load_skew:5.3f}  "
+            f"{res.total_seconds:8.2f}s  {res.backend}"
+            f"[{res.worker_transport}]"
+        )
+        last = res
+    if last is not None:
+        lines.append("")
+        lines.append(last.render_replicas())
+        lines.append("")
+        lines.append(
+            last.slo.render(
+                f"per-tenant SLO ({last.routing}, {last.n_replicas} replicas)"
+            )
+        )
     return "\n".join(lines)
 
 
@@ -206,6 +317,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "serve-trace":
         return _run_subcommand(
             "serve-trace", lambda: run_serve_trace(args), args.out
+        )
+
+    if args.experiment == "serve-cluster":
+        return _run_subcommand(
+            "serve-cluster", lambda: run_serve_cluster(args), args.out
         )
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

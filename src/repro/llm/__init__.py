@@ -44,6 +44,12 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     forces the offline (fcfs, all-arrivals-at-t=0) reference path.
 ``client``
     High-level client: strings in, answers + usage + simulated latency out.
+``cluster``
+    Multi-replica serving: N per-replica engines behind pluggable routing
+    (round-robin / least-queue / prefix-aware sketches / tenant-sharded
+    consistent hashing), replayed inline or over a spawn process pool with
+    bit-identical merged metrics. ``REPRO_SERVING_CLUSTER=0`` forces the
+    1-replica single-engine reference.
 ``pricing``
     OpenAI / Anthropic prompt-caching billing models (Table 3 / Table 4).
 ``prompts``
@@ -56,6 +62,15 @@ from repro.llm.blocks import (
     paged_accounting_enabled,
 )
 from repro.llm.client import BatchResult, SimulatedLLMClient, TraceResult
+from repro.llm.cluster import (
+    CLUSTER_BACKENDS,
+    ROUTING_POLICIES,
+    ClusterConfig,
+    ClusterEngine,
+    ClusterResult,
+    ReplicaStats,
+    serving_cluster_enabled,
+)
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, CLUSTER_8XL4, Cluster, GPUSpec
 from repro.llm.models import LLAMA3_1B, LLAMA3_8B, LLAMA3_70B, ModelSpec
@@ -113,6 +128,13 @@ __all__ = [
     "SimulatedLLMClient",
     "BatchResult",
     "TraceResult",
+    "ClusterEngine",
+    "ClusterConfig",
+    "ClusterResult",
+    "ReplicaStats",
+    "ROUTING_POLICIES",
+    "CLUSTER_BACKENDS",
+    "serving_cluster_enabled",
     "SCHEDULER_POLICIES",
     "SchedulerPolicy",
     "make_policy",

@@ -72,6 +72,54 @@ class TraceResult:
         return self.engine_result.scheduler
 
 
+def requests_from_trace(
+    trace: WorkloadTrace,
+    tokenizer: HashTokenizer,
+    encode_cache=None,
+    start_id: int = 0,
+    base_s: float = 0.0,
+    default_output_len: int = 16,
+) -> Tuple[List[Request], List[str]]:
+    """Build engine :class:`Request`\\ s from a trace, exactly as
+    :meth:`SimulatedLLMClient.generate_trace` does — sequential ids from
+    ``start_id`` in trace (arrival) order, decode lengths from
+    ``output_text``/``output_len``, arrival stamps offset by ``base_s``
+    (dropped entirely under ``REPRO_SERVING_ONLINE=0``).
+
+    Shared with :class:`~repro.llm.cluster.ClusterEngine` so a 1-replica
+    cluster constructs byte-identical requests to the single-engine client
+    path — the foundation of the cluster equivalence oracle. Returns
+    ``(requests, output_texts)`` aligned with ``trace.requests``.
+    """
+    online = serving_online_enabled()
+    cache = encode_cache if encode_cache is not None else encode_cache_for(tokenizer)
+    requests: List[Request] = []
+    out_texts: List[str] = []
+    rid = start_id
+    for tr in trace.requests:
+        if tr.output_text:
+            n_out = max(1, cache.count(tokenizer, tr.output_text))
+        elif tr.output_len is not None:
+            n_out = tr.output_len
+        else:
+            n_out = default_output_len
+        out_texts.append(tr.output_text)
+        ids, packed = cache.encode(tokenizer, tr.prompt)
+        requests.append(
+            Request(
+                request_id=rid,
+                prompt_tokens=ids,
+                output_tokens=n_out,
+                output_text=tr.output_text,
+                prompt_bytes=packed,
+                arrival_s=base_s + tr.arrival_s if online else base_s,
+                tenant=tr.tenant,
+            )
+        )
+        rid += 1
+    return requests, out_texts
+
+
 class SimulatedLLMClient:
     """Batch-generation client backed by :class:`SimulatedLLMEngine`.
 
@@ -185,31 +233,15 @@ class SimulatedLLMClient:
         ``deadline_s`` (arrival-relative) feeds the goodput accounting of
         the returned SLO report.
         """
-        online = serving_online_enabled()
-        base = self.engine.clock
-        requests: List[Request] = []
-        out_texts: List[str] = []
-        for tr in trace.requests:
-            if tr.output_text:
-                n_out = max(1, self._count_cached(tr.output_text))
-            elif tr.output_len is not None:
-                n_out = tr.output_len
-            else:
-                n_out = default_output_len
-            out_texts.append(tr.output_text)
-            ids, packed = self._encode_cached(tr.prompt)
-            requests.append(
-                Request(
-                    request_id=self._next_id,
-                    prompt_tokens=ids,
-                    output_tokens=n_out,
-                    output_text=tr.output_text,
-                    prompt_bytes=packed,
-                    arrival_s=base + tr.arrival_s if online else base,
-                    tenant=tr.tenant,
-                )
-            )
-            self._next_id += 1
+        requests, out_texts = requests_from_trace(
+            trace,
+            self.tokenizer,
+            encode_cache=self._encode_cache,
+            start_id=self._next_id,
+            base_s=self.engine.clock,
+            default_output_len=default_output_len,
+        )
+        self._next_id += len(requests)
 
         self.engine.submit_all(requests)
         result = self.engine.run()

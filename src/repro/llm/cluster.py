@@ -1,0 +1,923 @@
+"""Multi-replica cluster serving with cache-aware request routing.
+
+One :class:`~repro.llm.engine.SimulatedLLMEngine` is a throughput ceiling:
+its batch cap and KV pool bound how much concurrent work a single replica
+can absorb. A :class:`ClusterEngine` owns **N replica engines** — each with
+its own radix cache, block pool, and admission scheduler — and routes an
+arrival-timed :class:`~repro.llm.workload.WorkloadTrace` across them
+through a pluggable *routing policy*, then merges the per-replica replays
+into one cluster-level result.
+
+Routing policies (:data:`ROUTING_POLICIES`):
+
+``"round-robin"``
+    Requests cycle through replicas in arrival order. The oracle shape: a
+    1-replica round-robin cluster sends every request to replica 0, which
+    replays the trace exactly like the single-engine client path (enforced
+    by the randomized suite in ``tests/llm/test_cluster_equivalence.py``).
+
+``"least-queue"``
+    Join-the-shortest-queue on the router's outstanding-work model: each
+    routed request is charged an estimated solo service time (cost-model
+    prefill + batch-1 decode); at every arrival the router retires
+    estimates whose completion has passed and picks the replica with the
+    fewest outstanding requests (ties: least queued prompt tokens, then
+    lowest index). Classic load balancing — and the cache-blind baseline
+    prefix-aware routing is measured against.
+
+``"prefix-aware"``
+    The paper's prefix-sharing insight lifted from admission ordering
+    (PR 5's prefix-affinity scheduler) to *placement*: the router keeps a
+    cheap per-replica **prefix sketch** — rolling-hash digests of each
+    routed prompt at ``digest_block``-token boundaries, bounded LRU like
+    the cache it approximates — and scores an incoming prompt by its
+    longest leading run of digests present in each replica's sketch. The
+    request goes where its prefix is already hot (ties: least queued
+    tokens, then lowest index), so one tenant's shared header lands on one
+    replica instead of thrashing every cache in the fleet. Sketches are
+    router-side only: no replica radix tree is touched at routing time.
+
+``"tenant-sharded"``
+    Consistent hashing of the tenant tag over a ``vnodes``-point hash ring
+    (stable across processes — SHA1, not the salted builtin ``hash``),
+    with explicit per-tenant ``pins`` overriding the ring. The static
+    sharding baseline: perfect cache locality per tenant, no load
+    adaptation.
+
+Execution backends (``ClusterConfig.backend``):
+
+``"inline"``
+    Replicas replay sequentially in-process — the default, deterministic
+    reference.
+
+``"spawn"``
+    Replicas fan out over a ``spawn`` process pool for real wall-clock
+    parallelism, reusing the shared-memory transport idiom of
+    :func:`repro.core.compiled.export_shared_table`: the parent tokenizes
+    every prompt once, packs all token ids into a single shared-memory
+    segment (ids, offsets, decode lengths, arrival stamps, assignments),
+    and each worker attaches by name and rebuilds only its replica's
+    requests — nothing is pickled per request. Replay is deterministic
+    arithmetic on the same integers, so spawn merges **bit-identically**
+    with inline (enforced by the equivalence suite). Without numpy or a
+    usable process pool the backend degrades to inline.
+
+**One global event clock.** Routing happens in arrival order against
+router-side state only, so the assignment is independent of the backend;
+each replica then replays its sub-stream on its own engine with *absolute*
+arrival stamps (an idle replica jumps its clock to the next arrival), so
+every per-request clock — admission, first token, completion — is exact
+global simulation time and the merged metrics need no adjustment.
+
+``REPRO_SERVING_CLUSTER=0`` is the oracle switch: it forces 1 replica,
+round-robin routing, and the inline backend, reproducing the existing
+single-engine replay exactly — schedules, clocks, and cache counters —
+mirroring ``REPRO_SERVING_FASTPATH`` / ``REPRO_SERVING_ONLINE``.
+
+Each :meth:`ClusterEngine.run_trace` call is a self-contained replay:
+fresh replica engines and router state per call, so a cluster result is a
+pure function of ``(trace, config)`` on any backend. Long-lived
+cross-job cache persistence remains the single-engine client's job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+from repro.llm.costmodel import CostModel
+from repro.llm.encode_cache import encode_cache_for
+from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
+from repro.llm.hardware import CLUSTER_1XL4, Cluster
+from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.request import Request, RequestMetrics
+from repro.llm.scheduler import SLOReport, compute_slo
+from repro.llm.tokenizer import HashTokenizer
+from repro.llm.workload import WorkloadTrace
+
+try:  # numpy backs the spawn backend's shared-memory token transport.
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+#: Routing-policy registry for :class:`ClusterConfig` / :func:`make_router`.
+ROUTING_POLICIES = ("round-robin", "least-queue", "prefix-aware", "tenant-sharded")
+
+#: Execution backends for :class:`ClusterConfig`.
+CLUSTER_BACKENDS = ("inline", "spawn")
+
+
+def serving_cluster_enabled() -> bool:
+    """Whether multi-replica cluster serving is enabled.
+    ``REPRO_SERVING_CLUSTER=0`` forces every :class:`ClusterEngine` down to
+    1 replica, round-robin routing, and the inline backend — the
+    single-engine reference oracle."""
+    flag = os.environ.get("REPRO_SERVING_CLUSTER", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster tunables; every name is validated at construction time so a
+    typo fails here, not at first use deep in a replay.
+
+    ``engine`` is the per-replica :class:`EngineConfig` (each replica gets
+    its own engine built from it); ``digest_block``/``sketch_entries``
+    shape the prefix-aware router's rolling-hash sketches;
+    ``vnodes``/``pins`` shape the tenant-sharded hash ring;
+    ``max_workers`` caps the spawn pool (default: one worker per replica,
+    bounded by available CPUs).
+    """
+
+    n_replicas: int = 1
+    routing: str = "round-robin"
+    backend: str = "inline"
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    digest_block: int = 16
+    sketch_entries: int = 4096
+    vnodes: int = 64
+    pins: Dict[str, int] = field(default_factory=dict)
+    max_workers: Optional[int] = None
+
+    def __post_init__(self):
+        if self.n_replicas < 1:
+            raise ServingError(
+                f"n_replicas must be >= 1, got {self.n_replicas}"
+            )
+        if self.routing not in ROUTING_POLICIES:
+            raise ServingError(
+                f"unknown routing policy {self.routing!r}; "
+                f"choose from {ROUTING_POLICIES}"
+            )
+        if self.backend not in CLUSTER_BACKENDS:
+            raise ServingError(
+                f"unknown cluster backend {self.backend!r}; "
+                f"choose from {CLUSTER_BACKENDS}"
+            )
+        if self.digest_block < 1:
+            raise ServingError("digest_block must be >= 1")
+        if self.sketch_entries < 1:
+            raise ServingError("sketch_entries must be >= 1")
+        if self.vnodes < 1:
+            raise ServingError("vnodes must be >= 1")
+        for tenant, replica in self.pins.items():
+            if not 0 <= replica < self.n_replicas:
+                raise ServingError(
+                    f"pin {tenant!r} -> replica {replica} out of range "
+                    f"(cluster has {self.n_replicas} replicas)"
+                )
+
+
+# --------------------------------------------------------------------------
+# Router-side outstanding-work model (shared by every policy)
+# --------------------------------------------------------------------------
+class _OutstandingTracker:
+    """Per-replica outstanding-request model the router consults and every
+    policy reports from. Each routed request is charged an estimated solo
+    service time from the cost model; at every arrival the tracker retires
+    estimates whose completion has passed. This is router-side bookkeeping
+    only — the replicas' real clocks never feed back in, which keeps the
+    assignment a pure function of the trace (and therefore identical
+    across the inline and spawn backends)."""
+
+    def __init__(self, n_replicas: int, cost: CostModel):
+        self.cost = cost
+        self._heaps: List[List[Tuple[float, int]]] = [[] for _ in range(n_replicas)]
+        self._queued_tokens = [0] * n_replicas
+        self._busy_until = [0.0] * n_replicas
+        self.peak_depth = [0] * n_replicas
+        self.routed_requests = [0] * n_replicas
+        self.routed_tokens = [0] * n_replicas
+
+    def service_estimate_s(self, req: Request) -> float:
+        """Estimated solo service time: full prefill (the router cannot
+        know the replica's cache state) plus batch-1 decode."""
+        return (
+            self.cost.prefill_time(req.prompt_len)
+            + self.cost.decode_run_time(req.prompt_len, 1, req.output_tokens)
+            + self.cost.per_request_overhead_s
+        )
+
+    def advance(self, now_s: float) -> None:
+        """Retire outstanding estimates that completed before ``now_s``."""
+        for r, heap in enumerate(self._heaps):
+            while heap and heap[0][0] <= now_s:
+                _, tokens = heappop(heap)
+                self._queued_tokens[r] -= tokens
+
+    def depth(self, replica: int) -> int:
+        return len(self._heaps[replica])
+
+    def queued_tokens(self, replica: int) -> int:
+        return self._queued_tokens[replica]
+
+    def commit(self, req: Request, replica: int) -> None:
+        start = max(req.arrival_s, self._busy_until[replica])
+        finish = start + self.service_estimate_s(req)
+        self._busy_until[replica] = finish
+        tokens = req.prompt_len + req.output_tokens
+        heappush(self._heaps[replica], (finish, tokens))
+        self._queued_tokens[replica] += tokens
+        self.routed_requests[replica] += 1
+        self.routed_tokens[replica] += tokens
+        depth = len(self._heaps[replica])
+        if depth > self.peak_depth[replica]:
+            self.peak_depth[replica] = depth
+
+
+# --------------------------------------------------------------------------
+# Routing policies
+# --------------------------------------------------------------------------
+class RoutingPolicy:
+    """Chooses a replica for each request, in arrival order.
+
+    :meth:`route` is the single entry point: it advances the outstanding
+    model to the request's arrival time, picks a replica (:meth:`_pick`),
+    commits the routing (outstanding model + any policy state), and
+    returns the replica index. Deterministic given the request sequence.
+    """
+
+    name = "base"
+
+    def __init__(self, n_replicas: int, cost: CostModel):
+        self.n = n_replicas
+        self.tracker = _OutstandingTracker(n_replicas, cost)
+
+    def route(self, req: Request) -> int:
+        self.tracker.advance(req.arrival_s)
+        replica = self._pick(req)
+        if not 0 <= replica < self.n:
+            raise ServingError(
+                f"router {self.name!r} picked replica {replica} "
+                f"of {self.n}"
+            )
+        self.tracker.commit(req, replica)
+        self._committed(req, replica)
+        return replica
+
+    def _pick(self, req: Request) -> int:
+        raise NotImplementedError
+
+    def _committed(self, req: Request, replica: int) -> None:
+        """Post-commit hook for policy-side state (e.g. prefix sketches)."""
+
+
+class RoundRobinRouter(RoutingPolicy):
+    """Cycle through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self, n_replicas: int, cost: CostModel):
+        super().__init__(n_replicas, cost)
+        self._next = 0
+
+    def _pick(self, req: Request) -> int:
+        r = self._next
+        self._next = (r + 1) % self.n
+        return r
+
+
+class LeastQueueRouter(RoutingPolicy):
+    """Fewest outstanding requests; ties by queued tokens, then index."""
+
+    name = "least-queue"
+
+    def _pick(self, req: Request) -> int:
+        t = self.tracker
+        return min(
+            range(self.n),
+            key=lambda r: (t.depth(r), t.queued_tokens(r), r),
+        )
+
+
+class PrefixAwareRouter(RoutingPolicy):
+    """Longest leading digest-run match against per-replica prefix
+    sketches; cold/tied prompts fall back to least queued tokens.
+
+    A sketch is a bounded LRU set of rolling-hash digests taken every
+    ``digest_block`` tokens along each routed prompt — an O(len) pass at
+    routing time and O(len / block) sketch entries per prompt, never a
+    replica radix-tree probe. Bounding the sketch models the replica
+    cache's own eviction: digests a replica has not seen recently age out,
+    so the router stops chasing prefixes that are no longer resident.
+    """
+
+    name = "prefix-aware"
+
+    #: Polynomial rolling-hash multiplier (same prime CPython's string
+    #: hash historically used); masked to 64 bits.
+    _MULT = 1000003
+    _MASK = (1 << 64) - 1
+
+    def __init__(
+        self,
+        n_replicas: int,
+        cost: CostModel,
+        digest_block: int = 16,
+        sketch_entries: int = 4096,
+    ):
+        super().__init__(n_replicas, cost)
+        if digest_block < 1:
+            raise ServingError("digest_block must be >= 1")
+        if sketch_entries < 1:
+            raise ServingError("sketch_entries must be >= 1")
+        self.digest_block = digest_block
+        self.sketch_entries = sketch_entries
+        from collections import OrderedDict
+
+        self._sketches: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(n_replicas)
+        ]
+
+    def _digests(self, tokens: Sequence[int]) -> List[int]:
+        """Rolling-hash snapshots of the prompt's prefixes at block
+        boundaries: digest ``i`` identifies ``tokens[: (i+1) * block]``."""
+        h = 0
+        out: List[int] = []
+        block = self.digest_block
+        for i, tok in enumerate(tokens):
+            h = (h * self._MULT + tok + 1) & self._MASK
+            if (i + 1) % block == 0:
+                out.append(h)
+        return out
+
+    def _score(self, digests: List[int], replica: int) -> int:
+        """Leading run of the prompt's digests present in the sketch —
+        the sketch-level analogue of a radix longest-prefix match."""
+        sketch = self._sketches[replica]
+        run = 0
+        for d in digests:
+            if d not in sketch:
+                break
+            run += 1
+        return run
+
+    def _pick(self, req: Request) -> int:
+        digests = self._digests(req.prompt_tokens)
+        t = self.tracker
+        best = 0
+        best_key: Optional[Tuple[int, int, int]] = None
+        for r in range(self.n):
+            key = (-self._score(digests, r), t.queued_tokens(r), r)
+            if best_key is None or key < best_key:
+                best, best_key = r, key
+        self._last_digests = digests
+        return best
+
+    def _committed(self, req: Request, replica: int) -> None:
+        sketch = self._sketches[replica]
+        for d in self._last_digests:
+            if d in sketch:
+                sketch.move_to_end(d)
+            else:
+                sketch[d] = None
+        while len(sketch) > self.sketch_entries:
+            sketch.popitem(last=False)  # the sketch's own LRU "eviction"
+
+
+class TenantShardedRouter(RoutingPolicy):
+    """Consistent hashing of the tenant tag, with explicit pinning.
+
+    Each replica owns ``vnodes`` points on a 64-bit hash ring (SHA1-based,
+    so the ring is stable across processes and Python's hash
+    randomization); a tenant maps to the first replica point at or after
+    its own hash. ``pins`` overrides the ring per tenant. Adding a replica
+    moves only the tenants between ring points — the usual consistent-
+    hashing resize property.
+    """
+
+    name = "tenant-sharded"
+
+    def __init__(
+        self,
+        n_replicas: int,
+        cost: CostModel,
+        vnodes: int = 64,
+        pins: Optional[Dict[str, int]] = None,
+    ):
+        super().__init__(n_replicas, cost)
+        if vnodes < 1:
+            raise ServingError("vnodes must be >= 1")
+        self.pins = dict(pins or {})
+        for tenant, replica in self.pins.items():
+            if not 0 <= replica < n_replicas:
+                raise ServingError(
+                    f"pin {tenant!r} -> replica {replica} out of range"
+                )
+        points = []
+        for r in range(n_replicas):
+            for v in range(vnodes):
+                points.append((self._hash64(f"replica-{r}#vnode-{v}"), r))
+        points.sort()
+        self._ring_keys = [k for k, _ in points]
+        self._ring_replicas = [r for _, r in points]
+        self._memo: Dict[str, int] = {}
+
+    @staticmethod
+    def _hash64(text: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(text.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def shard_of(self, tenant: str) -> int:
+        """The tenant's replica (pin, else ring lookup), memoized."""
+        pinned = self.pins.get(tenant)
+        if pinned is not None:
+            return pinned
+        replica = self._memo.get(tenant)
+        if replica is None:
+            i = bisect_left(self._ring_keys, self._hash64(tenant))
+            replica = self._ring_replicas[i % len(self._ring_replicas)]
+            self._memo[tenant] = replica
+        return replica
+
+    def _pick(self, req: Request) -> int:
+        return self.shard_of(req.tenant)
+
+
+def make_router(
+    name: str, n_replicas: int, cost: CostModel, config: Optional[ClusterConfig] = None
+) -> RoutingPolicy:
+    """Instantiate a routing policy by registry name."""
+    if name == "round-robin":
+        return RoundRobinRouter(n_replicas, cost)
+    if name == "least-queue":
+        return LeastQueueRouter(n_replicas, cost)
+    if name == "prefix-aware":
+        return PrefixAwareRouter(
+            n_replicas,
+            cost,
+            digest_block=config.digest_block if config else 16,
+            sketch_entries=config.sketch_entries if config else 4096,
+        )
+    if name == "tenant-sharded":
+        return TenantShardedRouter(
+            n_replicas,
+            cost,
+            vnodes=config.vnodes if config else 64,
+            pins=config.pins if config else None,
+        )
+    raise ServingError(
+        f"unknown routing policy {name!r}; choose from {ROUTING_POLICIES}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Cluster results
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's share of a cluster replay: engine metrics plus the
+    router's view of it (peak outstanding depth, routed work)."""
+
+    replica: int
+    n_requests: int
+    prompt_tokens: int
+    cached_tokens: int
+    prefill_tokens: int
+    decode_tokens: int
+    total_seconds: float
+    peak_kv_tokens: int
+    max_batch_seen: int
+    peak_queue_depth: int
+    routed_tokens: int
+    #: Fraction of the replica's KV capacity its peak usage reached.
+    occupancy: float
+    #: Radix-cache counters, for oracle comparisons and telemetry.
+    cache_hits: int
+    cache_misses: int
+    cache_evicted_tokens: int
+    cache_total_tokens: int
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.cached_tokens / self.prompt_tokens
+
+
+@dataclass
+class ClusterResult:
+    """Merged outcome of one cluster trace replay.
+
+    ``request_metrics`` is the union of every replica's per-request
+    metrics, sorted by request id (= trace order); clocks are global
+    simulation time, so SLO accounting needs no adjustment.
+    ``total_seconds`` is the cluster makespan (the slowest replica).
+    ``load_skew`` is the coefficient of variation (population std / mean)
+    of per-replica routed work in tokens — 0.0 means perfectly even.
+    """
+
+    n_replicas: int
+    routing: str
+    backend: str
+    scheduler: str
+    worker_transport: str
+    total_seconds: float
+    request_metrics: List[RequestMetrics]
+    prompt_tokens: int
+    cached_tokens: int
+    prefill_tokens: int
+    decode_tokens: int
+    replicas: List[ReplicaStats]
+    engine_results: List[EngineResult]
+    load_skew: float
+    slo: SLOReport
+    deadline_s: Optional[float] = None
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Aggregate fraction of prompt tokens served from replica caches."""
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.cached_tokens / self.prompt_tokens
+
+    @property
+    def goodput_attainment(self) -> float:
+        """Fraction of requests meeting the deadline (1.0 without one)."""
+        return self.slo.attainment
+
+    def slo_report(self, deadline_s: Optional[float]) -> SLOReport:
+        """SLO rollup of the merged metrics under a different deadline."""
+        return compute_slo(self.request_metrics, deadline_s=deadline_s)
+
+    def render_replicas(self) -> str:
+        """Operator-style per-replica table."""
+        lines = [
+            "replica   reqs  prompt_tok    phr    peak_kv  occupancy"
+            "  peak_queue  makespan"
+        ]
+        for s in self.replicas:
+            lines.append(
+                f"{s.replica:>7}  {s.n_requests:>5}  {s.prompt_tokens:>10}  "
+                f"{100 * s.prefix_hit_rate:5.1f}%  {s.peak_kv_tokens:>9}  "
+                f"{100 * s.occupancy:8.1f}%  {s.peak_queue_depth:>10}  "
+                f"{s.total_seconds:7.2f}s"
+            )
+        lines.append(
+            f"cluster: {self.n_replicas} replicas, routing={self.routing}, "
+            f"backend={self.backend}, aggregate PHR "
+            f"{100 * self.prefix_hit_rate:.1f}%, load skew "
+            f"{self.load_skew:.3f}, makespan {self.total_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def _load_skew(per_replica_tokens: Sequence[int]) -> float:
+    n = len(per_replica_tokens)
+    if n <= 1:
+        return 0.0
+    mean = sum(per_replica_tokens) / n
+    if mean <= 0:
+        return 0.0
+    var = sum((t - mean) ** 2 for t in per_replica_tokens) / n
+    return var ** 0.5 / mean
+
+
+# --------------------------------------------------------------------------
+# Replica replay (shared by both backends)
+# --------------------------------------------------------------------------
+def _replay_replica(
+    model: ModelSpec,
+    cluster_hw: Cluster,
+    engine_cfg: EngineConfig,
+    requests: Sequence[Request],
+) -> Tuple[EngineResult, Dict[str, int]]:
+    """Run one replica's sub-stream on a fresh engine; returns the engine
+    result plus the radix-cache counters the equivalence suites compare."""
+    engine = SimulatedLLMEngine(model=model, cluster=cluster_hw, config=engine_cfg)
+    engine.submit_all(requests)
+    result = engine.run()
+    cache = engine.cache
+    counters = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evicted_tokens": cache.evicted_tokens,
+        "total_tokens": cache.total_tokens,
+    }
+    return result, counters
+
+
+# ---------------------------------------------------- spawn worker plumbing
+#: Handle to a trace exported into shared memory:
+#: ``(shm name, n_requests, total_tokens, meta byte length)``. Layout:
+#: ``[token ids int64 | offsets int64 (n+1) | output lens int64 |
+#: arrivals float64 | assignments int64 | pickled tenant list]``.
+SharedTraceHandle = Tuple[str, int, int, int]
+
+_WORKER_STATE = None
+
+
+def _export_shared_trace(requests: Sequence[Request], assignment: Sequence[int]):
+    """Pack every request's token ids and replay metadata into one
+    shared-memory segment (the cluster analogue of
+    :func:`repro.core.compiled.export_shared_table`); returns
+    ``(handle, shm)``. The caller keeps ``shm`` alive while workers
+    attach, then ``shm.close(); shm.unlink()``."""
+    import pickle
+    from multiprocessing import shared_memory
+
+    n = len(requests)
+    offsets = _np.zeros(n + 1, dtype=_np.int64)
+    for i, req in enumerate(requests):
+        offsets[i + 1] = offsets[i] + req.prompt_len
+    total_tokens = int(offsets[-1])
+    tokens = _np.empty(total_tokens, dtype=_np.int64)
+    for i, req in enumerate(requests):
+        tokens[offsets[i] : offsets[i + 1]] = req.prompt_tokens
+    outs = _np.asarray([r.output_tokens for r in requests], dtype=_np.int64)
+    arrivals = _np.asarray([r.arrival_s for r in requests], dtype=_np.float64)
+    assign = _np.asarray(assignment, dtype=_np.int64)
+    meta = pickle.dumps(
+        [r.tenant for r in requests], protocol=pickle.HIGHEST_PROTOCOL
+    )
+    arrays = (tokens, offsets, outs, arrivals, assign)
+    size = max(1, sum(a.nbytes for a in arrays) + len(meta))
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    pos = 0
+    for a in arrays:
+        if a.nbytes:
+            _np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=pos)[:] = a
+        pos += a.nbytes
+    shm.buf[pos : pos + len(meta)] = meta
+    handle: SharedTraceHandle = (shm.name, n, total_tokens, len(meta))
+    return handle, shm
+
+
+def _attach_shared_trace(handle: SharedTraceHandle):
+    """Rebuild ``(tokens, offsets, outs, arrivals, assign, tenants)`` from
+    a shared segment. Arrays are copied out and the segment closed before
+    returning — workers own no shared state afterwards."""
+    import pickle
+    from multiprocessing import shared_memory
+
+    name, n, total_tokens, meta_len = handle
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        pos = 0
+
+        def take(count, dtype):
+            nonlocal pos
+            arr = _np.ndarray(
+                (count,), dtype=dtype, buffer=shm.buf, offset=pos
+            ).copy()
+            pos += arr.nbytes
+            return arr
+
+        tokens = take(total_tokens, _np.int64)
+        offsets = take(n + 1, _np.int64)
+        outs = take(n, _np.int64)
+        arrivals = take(n, _np.float64)
+        assign = take(n, _np.int64)
+        tenants = pickle.loads(bytes(shm.buf[pos : pos + meta_len]))
+    finally:
+        shm.close()
+    return tokens, offsets, outs, arrivals, assign, tenants
+
+
+def _init_cluster_worker(
+    handle: SharedTraceHandle,
+    model: ModelSpec,
+    cluster_hw: Cluster,
+    engine_cfg: EngineConfig,
+) -> None:
+    """Spawn-pool initializer: attach the shared trace once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = (_attach_shared_trace(handle), model, cluster_hw, engine_cfg)
+
+
+def _replica_requests_from_arrays(
+    arrays, replica: int
+) -> List[Request]:
+    """Materialize one replica's requests from the packed arrays. Token
+    tuples and packed probe bytes are rebuilt from the same int64 buffer
+    the parent filled, so they equal the parent's inline requests exactly."""
+    tokens, offsets, outs, arrivals, assign, tenants = arrays
+    requests: List[Request] = []
+    for i in _np.flatnonzero(assign == replica).tolist():
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        span = tokens[lo:hi]
+        requests.append(
+            Request(
+                request_id=i,
+                prompt_tokens=tuple(span.tolist()),
+                output_tokens=int(outs[i]),
+                prompt_bytes=span.tobytes(),
+                arrival_s=float(arrivals[i]),
+                tenant=tenants[i],
+            )
+        )
+    return requests
+
+
+def _cluster_worker_job(replica: int):
+    """Worker body: replay one replica from the attached shared trace."""
+    assert _WORKER_STATE is not None, "cluster pool initializer did not run"
+    arrays, model, cluster_hw, engine_cfg = _WORKER_STATE
+    requests = _replica_requests_from_arrays(arrays, replica)
+    result, counters = _replay_replica(model, cluster_hw, engine_cfg, requests)
+    return replica, result, counters
+
+
+# --------------------------------------------------------------------------
+# The cluster engine
+# --------------------------------------------------------------------------
+class ClusterEngine:
+    """N replica engines behind a routing policy; see module docstring."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        model: ModelSpec = LLAMA3_8B,
+        cluster: Cluster = CLUSTER_1XL4,
+        tokenizer: Optional[HashTokenizer] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.model = model
+        self.cluster = cluster
+        self.tokenizer = tokenizer or HashTokenizer()
+        self._encode_cache = encode_cache_for(self.tokenizer)
+        self.cost = CostModel(model=model, cluster=cluster)
+        if serving_cluster_enabled():
+            self.n_replicas = self.config.n_replicas
+            self.routing = self.config.routing
+            self.backend = self.config.backend
+        else:
+            # The oracle: exactly the single-engine replay, regardless of
+            # the configured fleet shape.
+            self.n_replicas = 1
+            self.routing = "round-robin"
+            self.backend = "inline"
+
+    # ------------------------------------------------------------- routing
+    def route_requests(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[int], RoutingPolicy]:
+        """Assign each request (in order) to a replica; returns the
+        assignment plus the router (whose tracker carries queue-depth and
+        routed-work stats for reporting)."""
+        router = make_router(self.routing, self.n_replicas, self.cost, self.config)
+        assignment = [router.route(req) for req in requests]
+        return assignment, router
+
+    def route_trace(self, trace: WorkloadTrace) -> List[int]:
+        """The replica assignment this cluster would give ``trace`` —
+        exposed for tests and capacity planning."""
+        from repro.llm.client import requests_from_trace
+
+        requests, _ = requests_from_trace(
+            trace, self.tokenizer, encode_cache=self._encode_cache
+        )
+        return self.route_requests(requests)[0]
+
+    # -------------------------------------------------------------- replay
+    def run_trace(
+        self,
+        trace: WorkloadTrace,
+        deadline_s: Optional[float] = None,
+        default_output_len: int = 16,
+    ) -> ClusterResult:
+        """Route and replay one arrival-timed trace; returns the merged
+        cluster result. Each call is a self-contained replay (fresh
+        replica engines and router state)."""
+        from repro.llm.client import requests_from_trace
+
+        if not trace.n_requests:
+            raise ServingError("trace has no requests")
+        requests, _ = requests_from_trace(
+            trace,
+            self.tokenizer,
+            encode_cache=self._encode_cache,
+            default_output_len=default_output_len,
+        )
+        assignment, router = self.route_requests(requests)
+
+        per_replica: List[List[Request]] = [[] for _ in range(self.n_replicas)]
+        for req, replica in zip(requests, assignment):
+            per_replica[replica].append(req)
+
+        transport = "in-process"
+        replays: Optional[List[Tuple[EngineResult, Dict[str, int]]]] = None
+        if self.backend == "spawn" and self.n_replicas > 1 and _np is not None:
+            replays, transport = self._run_spawn(requests, assignment)
+        if replays is None:
+            replays = [
+                _replay_replica(self.model, self.cluster, self.config.engine, reqs)
+                for reqs in per_replica
+            ]
+            transport = "in-process"
+
+        return self._merge(
+            replays, per_replica, router, transport, deadline_s
+        )
+
+    def _run_spawn(self, requests, assignment):
+        """Fan replicas out over a spawn pool via the shared-memory trace
+        export; returns ``(replays, transport)`` or ``(None, _)`` to fall
+        back to the inline path (pool or shared memory unavailable)."""
+        import concurrent.futures
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("spawn")
+            handle, shm = _export_shared_trace(requests, assignment)
+        except (OSError, ValueError):
+            return None, "in-process"
+        max_workers = self.config.max_workers or min(
+            self.n_replicas, os.cpu_count() or 1
+        )
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=ctx,
+                initializer=_init_cluster_worker,
+                initargs=(handle, self.model, self.cluster, self.config.engine),
+            ) as pool:
+                by_replica = dict()
+                for replica, result, counters in pool.map(
+                    _cluster_worker_job, range(self.n_replicas)
+                ):
+                    by_replica[replica] = (result, counters)
+        except (OSError, concurrent.futures.process.BrokenProcessPool):
+            # Restricted sandboxes may forbid process pools or kill
+            # workers; the inline path produces identical results, just
+            # without parallelism.
+            return None, "in-process"
+        finally:
+            shm.close()
+            shm.unlink()
+        return [by_replica[r] for r in range(self.n_replicas)], "shared-memory"
+
+    # --------------------------------------------------------------- merge
+    def _merge(
+        self,
+        replays: List[Tuple[EngineResult, Dict[str, int]]],
+        per_replica: List[List[Request]],
+        router: RoutingPolicy,
+        transport: str,
+        deadline_s: Optional[float],
+    ) -> ClusterResult:
+        tracker = router.tracker
+        capacity = (
+            self.config.engine.kv_capacity_tokens
+            if self.config.engine.kv_capacity_tokens is not None
+            else self.cost.kv_capacity_tokens
+        )
+        stats: List[ReplicaStats] = []
+        merged: List[RequestMetrics] = []
+        engine_results: List[EngineResult] = []
+        work_tokens: List[int] = []
+        for replica, ((result, counters), reqs) in enumerate(
+            zip(replays, per_replica)
+        ):
+            engine_results.append(result)
+            merged.extend(result.request_metrics)
+            work_tokens.append(result.prompt_tokens + result.decode_tokens)
+            stats.append(
+                ReplicaStats(
+                    replica=replica,
+                    n_requests=len(reqs),
+                    prompt_tokens=result.prompt_tokens,
+                    cached_tokens=result.cached_tokens,
+                    prefill_tokens=result.prefill_tokens,
+                    decode_tokens=result.decode_tokens,
+                    total_seconds=result.total_seconds,
+                    peak_kv_tokens=result.peak_kv_tokens,
+                    max_batch_seen=result.max_batch_seen,
+                    peak_queue_depth=tracker.peak_depth[replica],
+                    routed_tokens=tracker.routed_tokens[replica],
+                    occupancy=(
+                        result.peak_kv_tokens / capacity if capacity else 0.0
+                    ),
+                    cache_hits=counters["hits"],
+                    cache_misses=counters["misses"],
+                    cache_evicted_tokens=counters["evicted_tokens"],
+                    cache_total_tokens=counters["total_tokens"],
+                )
+            )
+        merged.sort(key=lambda m: m.request_id)
+        return ClusterResult(
+            n_replicas=self.n_replicas,
+            routing=self.routing,
+            backend=self.backend,
+            scheduler=replays[0][0].scheduler if replays else "fcfs",
+            worker_transport=transport,
+            total_seconds=max(
+                (r.total_seconds for r, _ in replays), default=0.0
+            ),
+            request_metrics=merged,
+            prompt_tokens=sum(r.prompt_tokens for r, _ in replays),
+            cached_tokens=sum(r.cached_tokens for r, _ in replays),
+            prefill_tokens=sum(r.prefill_tokens for r, _ in replays),
+            decode_tokens=sum(r.decode_tokens for r, _ in replays),
+            replicas=stats,
+            engine_results=engine_results,
+            load_skew=_load_skew(work_tokens),
+            slo=compute_slo(merged, deadline_s=deadline_s),
+            deadline_s=deadline_s,
+        )

@@ -108,6 +108,7 @@ from repro.llm.scheduler import (
     compute_slo,
     make_policy,
     serving_online_enabled,
+    validate_policy_name,
 )
 
 try:  # numpy backs mode="vector"; without it the scalar modes remain.
@@ -146,6 +147,16 @@ class EngineConfig:
     kv_accounting: str = "auto"
     block_tokens: int = 16
     scheduler: str = "auto"
+
+    def __post_init__(self):
+        # Name validity fails here, at config construction; env-dependent
+        # resolution (oracle gates, numpy availability) stays in the
+        # engine's _resolve_* helpers.
+        if self.mode not in ("auto", "vector", "event", "stepwise"):
+            raise ServingError(f"unknown engine mode {self.mode!r}")
+        if self.kv_accounting not in ("auto", "paged", "tokens"):
+            raise ServingError(f"unknown kv accounting {self.kv_accounting!r}")
+        validate_policy_name(self.scheduler)
 
 
 @dataclass

@@ -306,6 +306,17 @@ class FairSharePolicy(SchedulerPolicy):
 SCHEDULER_POLICIES = ("fcfs", "sjf", "prefix-affinity", "fair-share")
 
 
+def validate_policy_name(name: str) -> str:
+    """Reject an unknown scheduler-policy name (``"auto"`` allowed) —
+    called from ``EngineConfig.__post_init__`` so a typo fails when the
+    config is built, not at first admission deep in a replay."""
+    if name != "auto" and name not in SCHEDULER_POLICIES:
+        raise ServingError(
+            f"unknown scheduler policy {name!r}; choose from {SCHEDULER_POLICIES}"
+        )
+    return name
+
+
 def make_policy(name: str, **kwargs) -> SchedulerPolicy:
     """Instantiate a scheduling policy by registry name."""
     if name == "fcfs":

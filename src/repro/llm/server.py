@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ServingError
 from repro.llm.client import BatchResult, SimulatedLLMClient, TraceResult
+from repro.llm.cluster import ClusterConfig, ClusterEngine, ClusterResult
 from repro.llm.engine import EngineConfig
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
@@ -200,6 +201,52 @@ class BatchInferenceServer:
         )
         return result
 
+    def submit_cluster_trace(
+        self,
+        job_id: str,
+        trace: WorkloadTrace,
+        cluster_config: Optional[ClusterConfig] = None,
+        deadline_s: Optional[float] = None,
+    ) -> ClusterResult:
+        """Run one arrival-timed trace across a replica fleet
+        (:class:`~repro.llm.cluster.ClusterEngine`) instead of the
+        server's single engine. The cluster shares the server's tokenizer
+        — and therefore its encode cache — but replays on fresh replica
+        engines each call; the single-engine jobs' radix cache is
+        untouched. Same job-id contract as :meth:`submit_job`; the job's
+        stats aggregate over replicas (peak KV blocks and fragmentation
+        are fleet sums)."""
+        if job_id in self._job_ids:
+            raise ServingError(f"duplicate job id {job_id!r}")
+        if not trace.n_requests:
+            raise ServingError("trace has no requests")
+        engine = ClusterEngine(
+            config=cluster_config,
+            model=self.client.model,
+            cluster=self.client.cluster,
+            tokenizer=self.client.tokenizer,
+        )
+        result = engine.run_trace(trace, deadline_s=deadline_s)
+        self._job_ids.add(job_id)
+        ers = result.engine_results
+        self.stats.jobs.append(
+            JobStats(
+                job_id=job_id,
+                n_requests=trace.n_requests,
+                prompt_tokens=result.prompt_tokens,
+                cached_tokens=result.cached_tokens,
+                output_tokens=result.decode_tokens,
+                seconds=result.total_seconds,
+                block_tokens=ers[0].block_tokens if ers else 0,
+                peak_kv_blocks=sum(e.peak_kv_blocks for e in ers),
+                fragmentation_tokens=sum(e.fragmentation_tokens for e in ers),
+                n_distinct_prompts=len({r.prompt for r in trace.requests}),
+                scheduler=f"{result.routing}@{result.n_replicas}r",
+                slo=result.slo,
+            )
+        )
+        return result
+
     def slo_report(self, job_id: str) -> str:
         """Per-tenant SLO table for one job (trace or batch)."""
         job = self.job(job_id)
@@ -233,5 +280,13 @@ class BatchInferenceServer:
         lines.append(
             f"lifetime hit rate {100 * self.stats.lifetime_hit_rate:.1f}% over "
             f"{len(self.stats.jobs)} jobs, {self.stats.total_seconds:.2f}s simulated"
+        )
+        ec = self.client.encode_cache_stats()
+        lookups = ec["hits"] + ec["misses"]
+        rate = ec["hits"] / lookups if lookups else 0.0
+        lines.append(
+            f"encode cache: {ec['hits']} hits / {ec['misses']} misses "
+            f"({100 * rate:.1f}%), {ec['entries']} entries, "
+            f"{ec['evictions']} evictions"
         )
         return "\n".join(lines)

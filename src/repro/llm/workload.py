@@ -153,9 +153,15 @@ class WorkloadTrace:
         )
 
     # ---------------------------------------------------------------- JSON
+    #: Schema version stamped into every saved trace. Bump when the JSON
+    #: shape changes; :meth:`from_json` refuses payloads from the future
+    #: so a trace written by a newer build fails loudly, not subtly.
+    FORMAT_VERSION = 1
+
     def to_json(self) -> str:
         return json.dumps(
             {
+                "version": self.FORMAT_VERSION,
                 "name": self.name,
                 "metadata": self.metadata,
                 "requests": [r.to_dict() for r in self.requests],
@@ -167,12 +173,23 @@ class WorkloadTrace:
     def from_json(text: str) -> "WorkloadTrace":
         try:
             d = json.loads(text)
+            # Pre-version traces carried no stamp; read them as v1.
+            version = d.get("version", 1)
+            if not isinstance(version, int) or version < 1:
+                raise ServingError(
+                    f"malformed workload trace: bad version {version!r}"
+                )
+            if version > WorkloadTrace.FORMAT_VERSION:
+                raise ServingError(
+                    f"workload trace version {version} is newer than this "
+                    f"build supports (<= {WorkloadTrace.FORMAT_VERSION})"
+                )
             return WorkloadTrace(
                 requests=[TraceRequest.from_dict(r) for r in d["requests"]],
                 name=d.get("name", "trace"),
                 metadata=d.get("metadata", {}),
             )
-        except (KeyError, TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ServingError(f"malformed workload trace: {exc}") from exc
 
     def save(self, path: str) -> None:

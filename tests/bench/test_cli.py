@@ -116,3 +116,79 @@ class TestServeTrace:
     def test_missing_trace_file_fails_cleanly(self, capsys):
         assert main(["serve-trace", "--trace", "/nonexistent/t.json"]) == 2
         assert "serve-trace failed:" in capsys.readouterr().err
+
+
+class TestServeCluster:
+    def test_routing_sweep(self, capsys):
+        assert main(
+            ["serve-cluster", "--scale", "0.004", "--requests", "24",
+             "--replicas", "3", "--routing", "round-robin,prefix-aware",
+             "--deadline", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.llm.cluster import serving_cluster_enabled
+
+        assert "round-robin" in out
+        if serving_cluster_enabled():
+            assert "prefix-aware" in out
+            assert "replica" in out and "load skew" in out
+        else:  # REPRO_SERVING_CLUSTER=0 CI run: single-replica reference
+            assert "single-replica reference" in out
+        assert "goodput" in out
+        assert "per-tenant SLO" in out and "(all)" in out
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        saved = tmp_path / "trace.json"
+        assert main(
+            ["serve-trace", "--scale", "0.004", "--requests", "12",
+             "--policy", "fcfs", "--save-trace", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve-cluster", "--trace", str(saved), "--replicas", "2",
+             "--routing", "least-queue"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.llm.cluster import serving_cluster_enabled
+
+        if serving_cluster_enabled():
+            assert "least-queue" in out
+        else:  # gate forces the single-replica round-robin reference
+            assert "single-replica reference" in out
+        assert "12 requests" in out
+
+    def test_unknown_routing_fails_cleanly(self, capsys):
+        assert main(
+            ["serve-cluster", "--scale", "0.004", "--requests", "6",
+             "--routing", "warp"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "serve-cluster failed:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_replicas_fails_cleanly(self, capsys):
+        assert main(
+            ["serve-cluster", "--scale", "0.004", "--requests", "6",
+             "--replicas", "0"]
+        ) == 2
+        assert "serve-cluster failed:" in capsys.readouterr().err
+
+
+class TestServeTraceEncodeCache:
+    """Satellite: the serve-trace sweep surfaces encode-cache telemetry."""
+
+    def test_encode_cache_line_renders(self, capsys):
+        assert main(
+            ["serve-trace", "--scale", "0.004", "--requests", "12",
+             "--policy", "fcfs,sjf"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "encode cache:" in out
+        assert "hits" in out and "misses" in out
+        # Two policies replay the same 12 prompts on one shared tokenizer:
+        # the second sweep hits for every distinct prompt.
+        import re
+
+        m = re.search(r"encode cache: (\d+) hits / (\d+) misses", out)
+        assert m, out
+        assert int(m.group(1)) >= int(m.group(2))

@@ -152,3 +152,38 @@ class TestBatching:
         second = eng.run()
         assert first.cached_tokens == 0
         assert second.cached_tokens == len(SHARED)
+
+
+class TestEngineConfigValidation:
+    """Satellite: bad names fail when the config is built, not at first
+    use inside a replay."""
+
+    def test_unknown_scheduler_at_config_time(self):
+        from repro.errors import ReproError
+        from repro.llm.scheduler import SCHEDULER_POLICIES
+
+        with pytest.raises(ReproError) as exc_info:
+            EngineConfig(scheduler="warp")
+        msg = str(exc_info.value)
+        for name in SCHEDULER_POLICIES:
+            assert name in msg
+
+    def test_unknown_mode_at_config_time(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            EngineConfig(mode="warp")
+
+    def test_unknown_accounting_at_config_time(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            EngineConfig(kv_accounting="warp")
+
+    def test_valid_names_still_accepted(self):
+        for scheduler in ("auto", "fcfs", "sjf", "prefix-affinity", "fair-share"):
+            EngineConfig(scheduler=scheduler)
+        for mode in ("auto", "vector", "event", "stepwise"):
+            EngineConfig(mode=mode)
+        for acc in ("auto", "paged", "tokens"):
+            EngineConfig(kv_accounting=acc)

@@ -180,3 +180,87 @@ class TestTraceJobs:
         server.submit_trace("affine", self.trace(tag="a"))
         expected = "prefix-affinity" if serving_online_enabled() else "fcfs"
         assert server.job("affine").scheduler == expected
+
+
+class TestClusterJobs:
+    @pytest.fixture(autouse=True)
+    def _cluster_layer_on(self, monkeypatch):
+        """These tests exercise the multi-replica layer directly, so pin
+        the gate open even in the ``REPRO_SERVING_CLUSTER=0`` CI run."""
+        monkeypatch.delenv("REPRO_SERVING_CLUSTER", raising=False)
+
+    def trace(self, n=16, tag="c"):
+        from repro.llm.workload import TraceRequest, WorkloadTrace
+
+        return WorkloadTrace(
+            [
+                TraceRequest(
+                    i * 0.01,
+                    f"cluster tenant {i % 3} shared header {tag} row {i}",
+                    tenant=f"tenant-{i % 3}",
+                    output_len=2,
+                )
+                for i in range(n)
+            ],
+            name=f"cluster-{tag}",
+        )
+
+    def test_submit_cluster_trace_records_stats(self):
+        from repro.llm.cluster import ClusterConfig
+
+        server = BatchInferenceServer()
+        res = server.submit_cluster_trace(
+            "fleet",
+            self.trace(),
+            cluster_config=ClusterConfig(n_replicas=2, routing="least-queue"),
+            deadline_s=60.0,
+        )
+        assert res.n_replicas == 2
+        job = server.job("fleet")
+        assert job.n_requests == 16
+        assert job.prompt_tokens == res.prompt_tokens
+        assert job.scheduler == "least-queue@2r"
+        assert job.slo is not None and job.slo.n_requests == 16
+        assert "fleet" in server.report()
+        assert "least-queue@2r" in server.report()
+
+    def test_cluster_job_duplicate_rejected(self):
+        server = BatchInferenceServer()
+        server.submit_cluster_trace("dup-fleet", self.trace())
+        with pytest.raises(ServingError):
+            server.submit_cluster_trace("dup-fleet", self.trace())
+
+    def test_cluster_job_does_not_touch_single_engine_cache(self):
+        server = BatchInferenceServer()
+        server.submit_trace("warm", self.trace(tag="w"))
+        hits_before = server.client.engine.cache.hits
+        server.submit_cluster_trace("fleet2", self.trace(tag="f"))
+        assert server.client.engine.cache.hits == hits_before
+
+    def test_empty_cluster_trace_rejected(self):
+        from repro.llm.workload import WorkloadTrace
+
+        server = BatchInferenceServer()
+        with pytest.raises(ServingError):
+            server.submit_cluster_trace("nope", WorkloadTrace([]))
+
+
+class TestEncodeCacheTelemetry:
+    """Satellite: the PR 6 encode cache is observable in the server report."""
+
+    def test_report_renders_encode_cache_line(self):
+        server = BatchInferenceServer()
+        server.submit_job("ec", ["same prompt"] * 4, output_lens=[1] * 4)
+        report = server.report()
+        assert "encode cache:" in report
+        assert "hits" in report and "misses" in report and "entries" in report
+
+    def test_counts_reflect_reuse(self):
+        server = BatchInferenceServer()
+        server.submit_job("ec1", ["alpha", "beta", "alpha"], output_lens=[1] * 3)
+        stats = server.client.encode_cache_stats()
+        assert stats["misses"] >= 2  # alpha, beta cold
+        assert stats["hits"] >= 1  # second alpha
+        line = server.report().splitlines()[-1]
+        assert line.startswith("encode cache:")
+        assert f"{stats['hits']} hits" in line

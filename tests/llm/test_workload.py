@@ -209,3 +209,91 @@ class TestTraceRequestOutputLenTypes:
         )
         with pytest.raises(ServingError):
             WorkloadTrace.load(str(path))
+
+
+class TestTraceJSONVersioning:
+    """Satellite: versioned trace JSON with clean ReproError failures."""
+
+    def full_trace(self):
+        return WorkloadTrace(
+            [
+                TraceRequest(
+                    0.25,
+                    "prompt one",
+                    tenant="acme",
+                    job="etl-7",
+                    output_text="the answer",
+                ),
+                TraceRequest(0.5, "prompt two", tenant="beta", output_len=9),
+            ],
+            name="versioned",
+            metadata={"source": "unit", "nested": {"k": [1, 2]}},
+        )
+
+    def test_version_stamped(self):
+        import json
+
+        d = json.loads(self.full_trace().to_json())
+        assert d["version"] == WorkloadTrace.FORMAT_VERSION == 1
+
+    def test_round_trip_preserves_all_fields(self, tmp_path):
+        tr = self.full_trace()
+        path = tmp_path / "v.json"
+        tr.save(str(path))
+        back = WorkloadTrace.load(str(path))
+        assert back.name == tr.name
+        assert back.metadata == tr.metadata
+        assert back.requests == tr.requests
+        assert back.requests[0].job == "etl-7"
+        assert back.requests[0].tenant == "acme"
+        assert back.requests[0].output_text == "the answer"
+        assert back.requests[1].output_len == 9
+
+    def test_unversioned_payload_reads_as_v1(self):
+        import json
+
+        d = json.loads(self.full_trace().to_json())
+        del d["version"]
+        back = WorkloadTrace.from_json(json.dumps(d))
+        assert back.requests == self.full_trace().requests
+
+    def test_future_version_rejected(self):
+        with pytest.raises(ServingError, match="newer than this build"):
+            WorkloadTrace.from_json('{"version": 99, "requests": []}')
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            '{"version": "two", "requests": []}',
+            '{"version": 0, "requests": []}',
+            '{"version": 1}',
+            "[1, 2, 3]",
+            "not json at all",
+            '{"version": 1, "requests": [{"prompt": "x"}]}',
+        ],
+    )
+    def test_malformed_payloads_raise_repro_error(self, payload):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            WorkloadTrace.from_json(payload)
+
+    def test_load_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "requests": 7}')
+        with pytest.raises(ServingError):
+            WorkloadTrace.load(str(path))
+
+
+class TestMakeArrivalsErrors:
+    """Regression: an unknown process name fails with the valid choices in
+    the message, as a ReproError (not KeyError)."""
+
+    def test_unknown_process_lists_choices(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError) as exc_info:
+            make_arrivals("fractal", 10, 5.0)
+        msg = str(exc_info.value)
+        for name in ARRIVAL_PROCESSES:
+            assert name in msg
