@@ -186,8 +186,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = load(args.fresh)
-    baseline = load(args.baseline)
+    # A missing or unreadable record file is an operator error (wrong
+    # path, bench step skipped, baseline never committed) — name every
+    # offender on one line and exit 2, distinct from a perf regression's
+    # exit 1 and never a traceback.
+    bad: List[str] = []
+    fresh: Dict[str, dict] = {}
+    baseline: Dict[str, dict] = {}
+    for role, path in (("fresh", args.fresh), ("baseline", args.baseline)):
+        try:
+            records = load(path)
+        except FileNotFoundError:
+            bad.append(f"missing {role} file {path}")
+            continue
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            bad.append(f"unreadable {role} file {path} ({exc})")
+            continue
+        if role == "fresh":
+            fresh = records
+        else:
+            baseline = records
+    if bad:
+        print(f"compare failed: {'; '.join(bad)}", file=sys.stderr)
+        return 2
     problems = compare(fresh, baseline, tolerance=args.tolerance)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"new benchmark (no baseline yet): {name} = {fresh[name]['value']}")

@@ -22,6 +22,12 @@ hit/miss telemetry.
 narrows the set; ``--backend spawn`` runs replicas in real processes),
 printing aggregate PHR, goodput, load skew and makespan per policy plus
 the winning policy's per-replica table.
+
+Both serving demos accept the continuous-batching knobs: ``--preemption
+{off,recompute,swap}`` lets the scheduler evict decoding victims for
+late-arriving urgent work, ``--chunk N`` splits long prefills into
+N-token segments interleaved with decode, and ``--deadline-policy S``
+sets the ``deadline`` EDF scheduler's default per-request deadline.
 """
 
 from __future__ import annotations
@@ -84,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", type=str, default="inline",
                         help="cluster execution backend for 'repro "
                              "serve-cluster': inline or spawn")
+    parser.add_argument("--preemption", type=str, default="off",
+                        choices=["off", "recompute", "swap"],
+                        help="decode preemption mode for the serving "
+                             "demos: victims are evicted for re-prefill "
+                             "(recompute) or parked in host memory (swap)")
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="chunked-prefill segment size in tokens for "
+                             "the serving demos (default: monolithic "
+                             "prefill)")
+    parser.add_argument("--deadline-policy", type=float, default=None,
+                        help="default per-request deadline (s) for the "
+                             "'deadline' EDF scheduler in the serving "
+                             "demos (requests without their own "
+                             "deadline_s use it)")
     return parser
 
 
@@ -181,7 +201,7 @@ def run_serve_trace(args) -> str:
         ),
         "",
         "policy            phr     p50_ttft  p95_ttft  p99_ttft  e2e_p95"
-        "   goodput    makespan",
+        "   goodput    makespan  npre",
     ]
     # One tokenizer across the per-policy clients: each distinct prompt is
     # encoded once for the whole sweep, and the shared encode cache's
@@ -190,7 +210,13 @@ def run_serve_trace(args) -> str:
     last = None
     for policy in policies:
         client = SimulatedLLMClient(
-            engine_config=EngineConfig(scheduler=policy, max_batch_size=16),
+            engine_config=EngineConfig(
+                scheduler=policy,
+                max_batch_size=16,
+                preemption=args.preemption,
+                prefill_chunk_tokens=args.chunk,
+                scheduler_deadline_s=args.deadline_policy,
+            ),
             tokenizer=tokenizer,
         )
         res = client.generate_trace(trace, deadline_s=args.deadline)
@@ -199,7 +225,7 @@ def run_serve_trace(args) -> str:
             f"{res.scheduler:<16} {100 * res.prefix_hit_rate:5.1f}%  "
             f"{s.ttft.p50:7.3f}s  {s.ttft.p95:7.3f}s  {s.ttft.p99:7.3f}s  "
             f"{s.e2e.p95:7.3f}s  {100 * s.attainment:6.1f}%  "
-            f"{res.total_seconds:8.2f}s"
+            f"{res.total_seconds:8.2f}s  {res.engine_result.n_preemptions:>4}"
         )
         last = res
         ec_stats = client.encode_cache_stats()
@@ -255,7 +281,12 @@ def run_serve_cluster(args) -> str:
                 n_replicas=args.replicas,
                 routing=routing,
                 backend=args.backend,
-                engine=EngineConfig(max_batch_size=16),
+                engine=EngineConfig(
+                    max_batch_size=16,
+                    preemption=args.preemption,
+                    prefill_chunk_tokens=args.chunk,
+                    scheduler_deadline_s=args.deadline_policy,
+                ),
             ),
             tokenizer=tokenizer,
         )

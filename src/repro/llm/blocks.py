@@ -134,6 +134,19 @@ class BlockManager:
         else:
             self._free: List[int] = list(range(self.n_blocks))
             self._refs: Dict[int, int] = {}
+        # KV tokens parked in host memory by preempt-swap: they occupy no
+        # device blocks (that is the point of swapping out), only this
+        # ledger, which unpark draws back down. Purely token-denominated —
+        # host memory is modeled as unbounded next to device KV.
+        self.parked_tokens = 0
+        # Per-tenant quota enforcement: ``_tenant_quota`` holds the hard
+        # block ceilings (absent = unlimited), ``_tenant_used`` the blocks
+        # currently charged. The engine charges/uncharges around its own
+        # allocate/release calls — the ledger is deliberately decoupled from
+        # individual allocations because fork-shared prefix blocks have no
+        # single owning tenant.
+        self._tenant_quota: Dict[str, int] = {}
+        self._tenant_used: Dict[str, int] = {}
 
     @property
     def free_blocks(self) -> int:
@@ -449,7 +462,86 @@ class BlockManager:
             alloc.ids_arr = None
         alloc.n_tokens = new_total
 
+    # ------------------------------------------------- preempt-swap parking
+    def park(self, alloc: BlockAllocation) -> int:
+        """Swap an allocation's KV out to host memory: its device blocks are
+        released (immediately reusable by other requests) and its token
+        count moves to the :attr:`parked_tokens` ledger. Returns the number
+        of tokens parked."""
+        n = alloc.n_tokens
+        self.release(alloc)
+        self.parked_tokens += n
+        return n
+
+    def unpark(self, n_tokens: int) -> BlockAllocation:
+        """Swap parked KV back in: draws ``n_tokens`` off the parked ledger
+        and allocates fresh device blocks for them (raises
+        :class:`CapacityError` like any allocation when the pool is full —
+        the caller decides when re-admission fits)."""
+        if n_tokens < 0:
+            raise ServingError(f"cannot unpark {n_tokens} tokens")
+        if n_tokens > self.parked_tokens:
+            raise ServingError(
+                f"unpark of {n_tokens} tokens but only {self.parked_tokens} parked"
+            )
+        alloc = self.allocate(n_tokens)
+        self.parked_tokens -= n_tokens
+        return alloc
+
+    # ----------------------------------------------------- per-tenant quota
+    def set_tenant_quota(self, tenant: str, blocks: int) -> None:
+        """Cap ``tenant`` at ``blocks`` device blocks; charging past the cap
+        raises :class:`CapacityError` so admission treats a quota-full
+        tenant exactly like a full pool (head-of-line blocks)."""
+        if blocks <= 0:
+            raise ServingError(f"tenant quota must be positive, got {blocks}")
+        self._tenant_quota[tenant] = blocks
+
+    def tenant_quota(self, tenant: str) -> "int | None":
+        return self._tenant_quota.get(tenant)
+
+    def tenant_used(self, tenant: str) -> int:
+        return self._tenant_used.get(tenant, 0)
+
+    def charge_tenant(self, tenant: str, blocks: int) -> None:
+        """Charge ``blocks`` against the tenant's quota (no-op accounting
+        when the tenant has no quota set)."""
+        if blocks < 0:
+            raise ServingError(f"cannot charge {blocks} blocks")
+        quota = self._tenant_quota.get(tenant)
+        used = self._tenant_used.get(tenant, 0)
+        if quota is not None and used + blocks > quota:
+            raise CapacityError(
+                f"tenant {tenant!r} quota exceeded: {used} used + {blocks} "
+                f"requested > {quota} blocks"
+            )
+        self._tenant_used[tenant] = used + blocks
+
+    def uncharge_tenant(self, tenant: str, blocks: int) -> None:
+        if blocks < 0:
+            raise ServingError(f"cannot uncharge {blocks} blocks")
+        used = self._tenant_used.get(tenant, 0) - blocks
+        if used < 0:
+            raise ServingError(
+                f"tenant {tenant!r} uncharged below zero ({used} blocks)"
+            )
+        if used:
+            self._tenant_used[tenant] = used
+        else:
+            self._tenant_used.pop(tenant, None)
+
     def check_invariants(self) -> None:
+        if self.parked_tokens < 0:
+            raise ServingError("negative parked-token ledger")
+        for tenant, used in self._tenant_used.items():
+            if used < 0:
+                raise ServingError(f"tenant {tenant!r} charged negative blocks")
+            quota = self._tenant_quota.get(tenant)
+            if quota is not None and used > quota:
+                raise ServingError(f"tenant {tenant!r} over quota")
+        self._check_pool_invariants()
+
+    def _check_pool_invariants(self) -> None:
         if self.vector:
             refs = self._refs_arr
             free = self._free_arr[: self._free_top]

@@ -114,6 +114,7 @@ def requests_from_trace(
                 prompt_bytes=packed,
                 arrival_s=base_s + tr.arrival_s if online else base_s,
                 tenant=tr.tenant,
+                deadline_s=tr.deadline_s,
             )
         )
         rid += 1

@@ -537,6 +537,29 @@ class ClusterResult:
             return 0.0
         return self.cached_tokens / self.prompt_tokens
 
+    # ----------------------------------------- continuous-batching rollups
+    @property
+    def preemption(self) -> str:
+        """Preemption mode the replicas decoded under (fleet-uniform —
+        every replica shares one :class:`EngineConfig`)."""
+        return self.engine_results[0].preemption if self.engine_results else "off"
+
+    @property
+    def n_preemptions(self) -> int:
+        return sum(r.n_preemptions for r in self.engine_results)
+
+    @property
+    def preempted_tokens_recomputed(self) -> int:
+        return sum(r.preempted_tokens_recomputed for r in self.engine_results)
+
+    @property
+    def preempted_tokens_swapped(self) -> int:
+        return sum(r.preempted_tokens_swapped for r in self.engine_results)
+
+    @property
+    def n_prefill_chunks(self) -> int:
+        return sum(r.n_prefill_chunks for r in self.engine_results)
+
     @property
     def goodput_attainment(self) -> float:
         """Fraction of requests meeting the deadline (1.0 without one)."""
@@ -565,6 +588,14 @@ class ClusterResult:
             f"{100 * self.prefix_hit_rate:.1f}%, load skew "
             f"{self.load_skew:.3f}, makespan {self.total_seconds:.2f}s"
         )
+        if self.preemption != "off":
+            lines.append(
+                f"continuous batching: preemption={self.preemption}, "
+                f"{self.n_preemptions} preemptions "
+                f"({self.preempted_tokens_recomputed} tok recomputed, "
+                f"{self.preempted_tokens_swapped} tok swapped), "
+                f"{self.n_prefill_chunks} prefill chunks"
+            )
         return "\n".join(lines)
 
 
@@ -607,7 +638,7 @@ def _replay_replica(
 #: Handle to a trace exported into shared memory:
 #: ``(shm name, n_requests, total_tokens, meta byte length)``. Layout:
 #: ``[token ids int64 | offsets int64 (n+1) | output lens int64 |
-#: arrivals float64 | assignments int64 | pickled tenant list]``.
+#: arrivals float64 | assignments int64 | pickled (tenants, deadlines)]``.
 SharedTraceHandle = Tuple[str, int, int, int]
 
 _WORKER_STATE = None
@@ -634,7 +665,8 @@ def _export_shared_trace(requests: Sequence[Request], assignment: Sequence[int])
     arrivals = _np.asarray([r.arrival_s for r in requests], dtype=_np.float64)
     assign = _np.asarray(assignment, dtype=_np.int64)
     meta = pickle.dumps(
-        [r.tenant for r in requests], protocol=pickle.HIGHEST_PROTOCOL
+        ([r.tenant for r in requests], [r.deadline_s for r in requests]),
+        protocol=pickle.HIGHEST_PROTOCOL,
     )
     arrays = (tokens, offsets, outs, arrivals, assign)
     size = max(1, sum(a.nbytes for a in arrays) + len(meta))
@@ -650,9 +682,10 @@ def _export_shared_trace(requests: Sequence[Request], assignment: Sequence[int])
 
 
 def _attach_shared_trace(handle: SharedTraceHandle):
-    """Rebuild ``(tokens, offsets, outs, arrivals, assign, tenants)`` from
-    a shared segment. Arrays are copied out and the segment closed before
-    returning — workers own no shared state afterwards."""
+    """Rebuild ``(tokens, offsets, outs, arrivals, assign, tenants,
+    deadlines)`` from a shared segment. Arrays are copied out and the
+    segment closed before returning — workers own no shared state
+    afterwards."""
     import pickle
     from multiprocessing import shared_memory
 
@@ -674,10 +707,10 @@ def _attach_shared_trace(handle: SharedTraceHandle):
         outs = take(n, _np.int64)
         arrivals = take(n, _np.float64)
         assign = take(n, _np.int64)
-        tenants = pickle.loads(bytes(shm.buf[pos : pos + meta_len]))
+        tenants, deadlines = pickle.loads(bytes(shm.buf[pos : pos + meta_len]))
     finally:
         shm.close()
-    return tokens, offsets, outs, arrivals, assign, tenants
+    return tokens, offsets, outs, arrivals, assign, tenants, deadlines
 
 
 def _init_cluster_worker(
@@ -697,7 +730,7 @@ def _replica_requests_from_arrays(
     """Materialize one replica's requests from the packed arrays. Token
     tuples and packed probe bytes are rebuilt from the same int64 buffer
     the parent filled, so they equal the parent's inline requests exactly."""
-    tokens, offsets, outs, arrivals, assign, tenants = arrays
+    tokens, offsets, outs, arrivals, assign, tenants, deadlines = arrays
     requests: List[Request] = []
     for i in _np.flatnonzero(assign == replica).tolist():
         lo, hi = int(offsets[i]), int(offsets[i + 1])
@@ -710,6 +743,7 @@ def _replica_requests_from_arrays(
                 prompt_bytes=span.tobytes(),
                 arrival_s=float(arrivals[i]),
                 tenant=tenants[i],
+                deadline_s=deadlines[i],
             )
         )
     return requests

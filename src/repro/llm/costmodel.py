@@ -61,10 +61,16 @@ class CostModel:
     #: forward pass, dominant for a 1B model — which is why the paper's
     #: Table 7 sees smaller relative gains at 1B despite identical PHRs.
     per_request_overhead_s: float = 15e-3
+    #: Fraction of effective memory bandwidth usable for KV swap traffic to
+    #: host memory (PCIe vs HBM — roughly the 5% ratio of a Gen4 x16 link
+    #: to an L4's memory bandwidth). Prices ``preemption="swap"``.
+    swap_bw_frac: float = 0.05
 
     def __post_init__(self):
         if not 0 < self.mfu <= 1 or not 0 < self.bw_util <= 1:
             raise ServingError("mfu and bw_util must be in (0, 1]")
+        if not 0 < self.swap_bw_frac <= 1:
+            raise ServingError("swap_bw_frac must be in (0, 1]")
         if self.model.weight_bytes > self.cluster.total_mem_bytes:
             raise ServingError(
                 f"{self.model.name} ({self.model.weight_bytes/1e9:.1f} GB) does not fit "
@@ -160,6 +166,18 @@ class CostModel:
         kv_tokens = steps * context_sum + batch_size * (steps * (steps - 1) // 2)
         kv_read = self.model.kv_bytes_per_token * float(kv_tokens) / bw
         return steps * (weight_read + self.step_overhead_s) + kv_read
+
+    # ----------------------------------------------------------------- swap
+    def swap_time(self, n_tokens: int) -> float:
+        """Seconds to move ``n_tokens`` of KV cache across the host link
+        (one direction). ``preemption="swap"`` pays this twice per
+        preemption — once parking the decode tail out, once restoring it —
+        versus ``"recompute"`` which pays a prefill over the same tokens.
+        """
+        if n_tokens <= 0:
+            return 0.0
+        bw = self.cluster.effective_bandwidth * self.bw_util * self.swap_bw_frac
+        return self.model.kv_bytes_per_token * float(n_tokens) / bw
 
     def decode_tokens_per_second(self, batch_size: int, context: int = 512) -> float:
         t = self.decode_step_time([context] * batch_size)

@@ -81,6 +81,30 @@ arrival, so both modes attempt admission at identical clocks. With every
 arrival at t=0 and the ``fcfs`` policy this degenerates exactly to the
 offline batch replay (``tests/llm/test_online_equivalence.py``);
 ``REPRO_SERVING_ONLINE=0`` forces that offline shape everywhere.
+
+**Continuous batching** (PR 8): admission is no longer one-shot. With
+``EngineConfig.preemption`` enabled, the scheduling policy may name a
+decoding *victim* (:meth:`SchedulerPolicy.preempt_victim`) whenever its
+selected candidate lacks batch slots or KV memory; the victim's decode
+tail is evicted for later re-prefill (``"recompute"``) or parked in host
+memory at PCIe-priced cost (``"swap"``, :meth:`CostModel.swap_time`), and
+the victim re-enters the waiting queue with its decode progress and
+metrics row intact. ``prefill_chunk_tokens`` splits long prefills into
+chunks that advance one per admission point, interleaved with decode
+steps, so a long prompt no longer stalls the batch; radix inserts, pins,
+and paged block reservations settle chunk by chunk. Per-tenant KV block
+quotas (``tenant_kv_quota_blocks``) bound any tenant's concurrent block
+charge, blocking head-of-line exactly like a full pool. The three replay
+modes stay exact: preemption decisions depend only on requests and the
+clock, so the event loops cut their closed-form decode runs at every
+boundary where the stepwise loop could act — arrivals (even with a full
+batch), the step after an admission wave (new members become eligible
+victims there), active chunked prefills, and time-driven priority shifts
+(a waiting deadline expiring —
+:meth:`SchedulerPolicy.next_priority_shift`). ``REPRO_SERVING_PREEMPT=0``
+forces the one-shot admit-and-forget shape everywhere — no preemption,
+monolithic prefill, the ``deadline`` policy falling back to ``fcfs`` —
+reproducing the pre-continuous-batching engine bit for bit.
 """
 
 from __future__ import annotations
@@ -108,6 +132,7 @@ from repro.llm.scheduler import (
     compute_slo,
     make_policy,
     serving_online_enabled,
+    serving_preempt_enabled,
     validate_policy_name,
 )
 
@@ -115,6 +140,10 @@ try:  # numpy backs mode="vector"; without it the scalar modes remain.
     import numpy as _np
 except ImportError:  # pragma: no cover - environment without numpy
     _np = None
+
+
+#: Valid ``EngineConfig.preemption`` modes.
+PREEMPTION_MODES = ("off", "recompute", "swap")
 
 
 @dataclass
@@ -147,6 +176,28 @@ class EngineConfig:
     kv_accounting: str = "auto"
     block_tokens: int = 16
     scheduler: str = "auto"
+    #: Decode preemption: ``"off"`` (one-shot admit-and-forget, the
+    #: oracle), ``"recompute"`` (a preempted request's decode-tail KV is
+    #: dropped and re-prefilled at re-admission), or ``"swap"`` (the tail
+    #: is parked in host memory and swapped back at PCIe-priced cost —
+    #: see :meth:`CostModel.swap_time`). Preemption fires only when the
+    #: scheduling policy names a victim (:meth:`SchedulerPolicy.
+    #: preempt_victim`); ``REPRO_SERVING_PREEMPT=0`` forces ``"off"``.
+    preemption: str = "off"
+    #: Chunked prefill: split prompts whose prefill exceeds this many
+    #: tokens into chunks interleaved with decode steps, so one long
+    #: prompt no longer stalls the whole batch's TTFT. ``None`` prefills
+    #: monolithically (the oracle); ``REPRO_SERVING_PREEMPT=0`` forces
+    #: ``None``.
+    prefill_chunk_tokens: Optional[int] = None
+    #: Default relative SLO deadline handed to the ``deadline`` scheduler
+    #: (requests carrying their own ``Request.deadline_s`` override it).
+    scheduler_deadline_s: Optional[float] = None
+    #: Per-tenant KV block quotas enforced by the :class:`BlockManager`
+    #: ledger (paged accounting only): tenant name -> max blocks charged
+    #: at once. A quota-full tenant blocks admission head-of-line, like a
+    #: full pool.
+    tenant_kv_quota_blocks: Optional[dict] = None
 
     def __post_init__(self):
         # Name validity fails here, at config construction; env-dependent
@@ -157,6 +208,27 @@ class EngineConfig:
         if self.kv_accounting not in ("auto", "paged", "tokens"):
             raise ServingError(f"unknown kv accounting {self.kv_accounting!r}")
         validate_policy_name(self.scheduler)
+        if self.preemption not in PREEMPTION_MODES:
+            raise ServingError(
+                f"unknown preemption mode {self.preemption!r}; "
+                f"choose from {PREEMPTION_MODES}"
+            )
+        if (
+            self.prefill_chunk_tokens is not None
+            and self.prefill_chunk_tokens <= 0
+        ):
+            raise ServingError(
+                f"prefill_chunk_tokens must be positive (or None for "
+                f"monolithic prefill), got {self.prefill_chunk_tokens}"
+            )
+        if (
+            self.scheduler_deadline_s is not None
+            and self.scheduler_deadline_s <= 0
+        ):
+            raise ServingError(
+                f"scheduler_deadline_s must be positive, got "
+                f"{self.scheduler_deadline_s}"
+            )
 
 
 @dataclass
@@ -175,6 +247,25 @@ class _Running:
     #: prefix cache is off).
     forks: Optional[List[BlockAllocation]] = None
     tail: Optional[BlockAllocation] = None
+    #: Continuous-batching lifecycle state. ``in_decode`` marks membership
+    #: in the engine's preemption-victim list; ``admit_step`` is the global
+    #: decode step the member (re-)joined the batch at, offset by tokens
+    #: already decoded, so the event loops price completions and preempt
+    #: settlements as ``step - admit_step``; ``admit_gen`` versions the
+    #: member's completion-heap entries (bumped on preemption, so stale
+    #: entries are recognizably dead).
+    in_decode: bool = False
+    admit_step: int = 0
+    admit_gen: int = 0
+    #: Blocks charged against the tenant quota ledger at admission.
+    quota_charge: int = 0
+    #: Chunked-prefill state: admission-time cache hit, remaining chunk
+    #: sizes, tokens already prefilled past the hit, and the outstanding
+    #: block reservation covering the un-prefilled chunks.
+    hit: int = 0
+    chunks_left: Optional[List[int]] = None
+    done_prefill: int = 0
+    prefill_reserved: int = 0
 
     @property
     def context_len(self) -> int:
@@ -205,6 +296,14 @@ class EngineResult:
     fragmentation_tokens: int = 0
     #: Scheduling policy the run admitted under (``"fcfs"`` offline).
     scheduler: str = "fcfs"
+    #: Preemption mode the run decoded under (``"off"`` = one-shot).
+    preemption: str = "off"
+    #: Continuous-batching rollups (all zero with preemption off and
+    #: monolithic prefill — the oracle shape).
+    n_preemptions: int = 0
+    preempted_tokens_recomputed: int = 0
+    preempted_tokens_swapped: int = 0
+    n_prefill_chunks: int = 0
 
     def slo(self, deadline_s: Optional[float] = None) -> SLOReport:
         """Latency/goodput rollup (queueing delay, TTFT, E2E percentiles,
@@ -252,6 +351,7 @@ class _VectorState:
     __slots__ = (
         "n", "_cap", "req_id", "prompt", "cached", "prefill",
         "out", "arrival", "admitted", "first", "finished", "tenants",
+        "npre", "tok_rec", "tok_swap", "chunks",
     )
 
     def __init__(self, capacity_hint: int):
@@ -273,12 +373,22 @@ class _VectorState:
         self.admitted = _np.zeros(self._cap, dtype=_np.float64)
         self.first = _np.zeros(self._cap, dtype=_np.float64)
         self.finished = _np.zeros(self._cap, dtype=_np.float64)
+        # Preemption/chunking counters land at existing rows when a
+        # request leaves and re-enters the running set, so they are numpy
+        # from the start like the other replay-time stamps.
+        self.npre = _np.zeros(self._cap, dtype=_np.int64)
+        self.tok_rec = _np.zeros(self._cap, dtype=_np.int64)
+        self.tok_swap = _np.zeros(self._cap, dtype=_np.int64)
+        self.chunks = _np.zeros(self._cap, dtype=_np.int64)
 
     def add(self, req: Request, cached: int, prefill: int) -> int:
         i = self.n
         if i == self._cap:
             self._cap *= 2
-            for name in ("out", "admitted", "first", "finished"):
+            for name in (
+                "out", "admitted", "first", "finished",
+                "npre", "tok_rec", "tok_swap", "chunks",
+            ):
                 arr = getattr(self, name)
                 grown = _np.zeros(self._cap, dtype=arr.dtype)
                 grown[:i] = arr
@@ -315,8 +425,12 @@ class _VectorState:
                 finished_at_s=fin,
                 arrival_s=ar,
                 tenant=tenants[i],
+                n_preemptions=pr,
+                preempted_tokens_recomputed=tr,
+                preempted_tokens_swapped=ts,
+                n_prefill_chunks=ch,
             )
-            for rid, pt, ct, ft, ot, ad, fi, fin, ar, i in zip(
+            for rid, pt, ct, ft, ot, ad, fi, fin, ar, pr, tr, ts, ch, i in zip(
                 req_id[order].tolist(),
                 prompt[order].tolist(),
                 cached[order].tolist(),
@@ -326,6 +440,10 @@ class _VectorState:
                 self.first[:n][order].tolist(),
                 self.finished[:n][order].tolist(),
                 arrival[order].tolist(),
+                self.npre[:n][order].tolist(),
+                self.tok_rec[:n][order].tolist(),
+                self.tok_swap[:n][order].tolist(),
+                self.chunks[:n][order].tolist(),
                 order.tolist(),
             )
         ]
@@ -355,6 +473,10 @@ def _resolve_scheduler(name: str) -> str:
         )
     # The offline oracle: every engine schedules FCFS, regardless of config.
     if not serving_online_enabled():
+        return "fcfs"
+    # The continuous-batching oracle: the deadline policy belongs to that
+    # layer, so disabling it falls back to FCFS like the offline gate.
+    if name == "deadline" and not serving_preempt_enabled():
         return "fcfs"
     return name
 
@@ -410,7 +532,44 @@ class SimulatedLLMEngine:
         #: not-yet-arrived requests wait in a (arrival_s, seq) heap and are
         #: released into the policy as the clock passes their stamp.
         self.scheduler_name = _resolve_scheduler(self.config.scheduler)
-        self.scheduler: SchedulerPolicy = make_policy(self.scheduler_name)
+        sched_kwargs = {}
+        if (
+            self.scheduler_name == "deadline"
+            and self.config.scheduler_deadline_s is not None
+        ):
+            sched_kwargs["deadline_s"] = self.config.scheduler_deadline_s
+        self.scheduler: SchedulerPolicy = make_policy(
+            self.scheduler_name, **sched_kwargs
+        )
+        # Continuous-batching layer: REPRO_SERVING_PREEMPT=0 forces the
+        # one-shot admit-and-forget shape (no preemption, monolithic
+        # prefill) regardless of config — the selectable oracle.
+        preempt_layer = serving_preempt_enabled()
+        self.preemption = self.config.preemption if preempt_layer else "off"
+        self.chunk_tokens = (
+            self.config.prefill_chunk_tokens if preempt_layer else None
+        )
+        self._quota_on = bool(
+            self.blocks is not None and self.config.tenant_kv_quota_blocks
+        )
+        if self._quota_on:
+            for tenant, quota in self.config.tenant_kv_quota_blocks.items():
+                self.blocks.set_tenant_quota(tenant, quota)
+        #: Decoding members in admission order — the preemption-victim
+        #: candidate list (identical across replay modes by construction).
+        self._decode_order: List[_Running] = []
+        #: Members mid-chunked-prefill: hold their admission charge but do
+        #: not decode until their last chunk settles.
+        self._prefilling: List[_Running] = []
+        #: Preempted members awaiting re-admission, by request id.
+        self._parked: dict = {}
+        #: Members admitted at the current admission point; they enter the
+        #: victim list only at the *next* one, once every replay mode has
+        #: actually inserted them into its decoding batch.
+        self._pending_decode: List[_Running] = []
+        #: Mode-specific callback removing a victim from the run loop's
+        #: incremental state (set by each run loop for its duration).
+        self._preempt_detach = None
         self._future: List[Tuple[float, int, Request]] = []
         self._arrival_seq = 0
         self._clock = 0.0
@@ -501,10 +660,28 @@ class SimulatedLLMEngine:
         peak = 0
         decode_steps = 0
         max_batch_seen = 0
+        # Preempting a victim in this mode just removes it from the running
+        # list (its decode progress is already materialized per token).
+        # Identity-based removal: the closure reads the loop's current
+        # ``running`` binding, which _admit also holds.
+        def _detach(m: _Running) -> None:
+            for i, x in enumerate(running):
+                if x is m:
+                    del running[i]
+                    return
+            raise ServingError("preempted a member absent from the batch")
 
-        while len(self.scheduler) or self._future or running:
+        self._preempt_detach = _detach
+
+        while (
+            len(self.scheduler) or self._future or running or self._prefilling
+        ):
             self._admit(running)
             if not running:
+                if self._prefilling:
+                    # Chunked prefills advance (and move the clock) inside
+                    # _admit; keep probing until a member becomes ready.
+                    continue
                 if len(self.scheduler):
                     raise ServingError("admission stalled with empty batch")
                 if self._future:
@@ -545,6 +722,7 @@ class SimulatedLLMEngine:
                     still.append(r)
             running = still
 
+        self._preempt_detach = None
         return self._result(done, decode_steps, peak, max_batch_seen)
 
     # --------------------------------------------------- event-driven mode
@@ -559,19 +737,38 @@ class SimulatedLLMEngine:
         decode_steps = 0
         max_batch_seen = 0
 
-        # (completion_step, admission_order, member): a request admitted at
-        # global step S with n output tokens completes at step S + n.
-        completions: List[Tuple[int, int, _Running]] = []
+        # (completion_step, admission_order, member, admit_gen): a request
+        # (re-)admitted at global step S with n tokens left completes at
+        # step S + n. Preemption bumps the member's admit_gen, so an entry
+        # whose gen no longer matches is dead and is purged lazily.
+        completions: List[Tuple[int, int, _Running, int]] = []
         order = 0
         batch = 0  # running sequences
         context_sum = 0  # sum of their current context lengths
         step = 0  # global decode-step counter
         fresh: List[_Running] = []  # admitted, awaiting their first token
 
-        while len(self.scheduler) or self._future or batch:
+        def _detach(m: _Running) -> None:
+            # Settle a preemption victim out of the incremental batch
+            # state: its decode progress is the steps elapsed since it
+            # (re-)joined the batch.
+            nonlocal batch, context_sum
+            m.decoded = step - m.admit_step
+            batch -= 1
+            context_sum -= m.context_len
+
+        self._preempt_detach = _detach
+        preempt_on = self.preemption != "off"
+        chunking = self.chunk_tokens is not None
+
+        while (
+            len(self.scheduler) or self._future or batch or self._prefilling
+        ):
             wave: List[_Running] = []
             self._admit(wave, n_active=batch)
             if batch == 0 and not wave:
+                if self._prefilling:
+                    continue
                 if len(self.scheduler):
                     raise ServingError("admission stalled with empty batch")
                 if self._future:
@@ -590,13 +787,20 @@ class SimulatedLLMEngine:
                     retired = True
                 else:
                     batch += 1
-                    context_sum += m.request.prompt_len
+                    context_sum += m.context_len
+                    m.admit_step = step - m.decoded
                     heappush(
                         completions,
-                        (step + m.request.output_tokens, order, m),
+                        (
+                            m.admit_step + m.request.output_tokens,
+                            order,
+                            m,
+                            m.admit_gen,
+                        ),
                     )
                     order += 1
-                    fresh.append(m)
+                    if m.decoded == 0:
+                        fresh.append(m)
             if batch == 0:
                 continue
 
@@ -604,7 +808,35 @@ class SimulatedLLMEngine:
             # just freed capacity, and the stepwise loop re-attempts
             # admission after exactly one decode step — mirror that cadence
             # so both modes issue identical cache probes.
+            if preempt_on:
+                while (
+                    completions
+                    and completions[0][2].admit_gen != completions[0][3]
+                ):
+                    heappop(completions)  # preempted before completing
             steps = completions[0][0] - step
+            if chunking and steps > 1 and self._prefilling:
+                # Chunked prefills advance once per step boundary in the
+                # stepwise loop; mirror that cadence exactly.
+                steps = 1
+            if preempt_on and steps > 1 and not self._admission_blocked:
+                if self._pending_decode and len(self.scheduler):
+                    # The last wave's members join the preemption-victim
+                    # list at the next admission probe, where a waiting
+                    # candidate may evict one of them; the stepwise loop
+                    # probes at the very next step boundary, so cut the
+                    # run there.
+                    steps = 1
+                elif len(self.scheduler):
+                    # A time-driven priority shift (a waiting deadline
+                    # expiring) can change which candidate is head-of-line
+                    # and thereby enable a preemption mid-run; cut at the
+                    # step boundary where the stepwise loop would see it.
+                    shift = self.scheduler.next_priority_shift(self._clock)
+                    if shift is not None:
+                        steps = self._cap_steps_at_arrival(
+                            context_sum, batch, steps, shift
+                        )
             if (
                 retired
                 and len(self.scheduler)
@@ -615,13 +847,14 @@ class SimulatedLLMEngine:
             if (
                 self._future
                 and steps > 1
-                and batch < self.config.max_batch_size
+                and (batch < self.config.max_batch_size or preempt_on)
             ):
                 # Arrival event: cut the decode run at the first step
                 # boundary whose clock reaches the next arrival — the
                 # boundary where the stepwise loop would see it and attempt
                 # admission. With a full batch the arrival cannot be
-                # admitted anyway, so the run proceeds to the completion.
+                # admitted anyway — unless preemption is on, in which case
+                # the arriving candidate may evict a victim right there.
                 steps = self._cap_steps_at_arrival(
                     context_sum, batch, steps, self._future[0][0]
                 )
@@ -641,13 +874,19 @@ class SimulatedLLMEngine:
                 for m in fresh:
                     m.metrics.first_token_at_s = first_at
                 fresh.clear()
-            while completions and completions[0][0] <= step:
-                _, _, m = heappop(completions)
+            while completions and (
+                completions[0][2].admit_gen != completions[0][3]
+                or completions[0][0] <= step
+            ):
+                _, _, m, gen = heappop(completions)
+                if m.admit_gen != gen:
+                    continue  # stale entry of a preempted member
                 m.decoded = m.request.output_tokens
                 batch -= 1
                 context_sum -= m.context_len
                 self._finish(m, done)
 
+        self._preempt_detach = None
         return self._result(done, decode_steps, peak, max_batch_seen)
 
     # ------------------------------------------------- vectorized event mode
@@ -669,17 +908,34 @@ class SimulatedLLMEngine:
             decode_steps = 0
             max_batch_seen = 0
 
-            completions: List[Tuple[int, int, _Running]] = []
+            completions: List[Tuple[int, int, _Running, int]] = []
             order = 0
             batch = 0
             context_sum = 0
             step = 0
             fresh: List[int] = []  # vector-state rows awaiting first token
 
-            while len(self.scheduler) or self._future or batch:
+            def _detach(m: _Running) -> None:
+                nonlocal batch, context_sum
+                m.decoded = step - m.admit_step
+                batch -= 1
+                context_sum -= m.context_len
+
+            self._preempt_detach = _detach
+            preempt_on = self.preemption != "off"
+            chunking = self.chunk_tokens is not None
+
+            while (
+                len(self.scheduler)
+                or self._future
+                or batch
+                or self._prefilling
+            ):
                 wave: List[_Running] = []
                 self._admit(wave, n_active=batch)
                 if batch == 0 and not wave:
+                    if self._prefilling:
+                        continue
                     if len(self.scheduler):
                         raise ServingError("admission stalled with empty batch")
                     if self._future:
@@ -696,17 +952,43 @@ class SimulatedLLMEngine:
                         retired = True
                     else:
                         batch += 1
-                        context_sum += m.request.prompt_len
+                        context_sum += m.context_len
+                        m.admit_step = step - m.decoded
                         heappush(
                             completions,
-                            (step + m.request.output_tokens, order, m),
+                            (
+                                m.admit_step + m.request.output_tokens,
+                                order,
+                                m,
+                                m.admit_gen,
+                            ),
                         )
                         order += 1
-                        fresh.append(m.idx)
+                        if m.decoded == 0:
+                            fresh.append(m.idx)
                 if batch == 0:
                     continue
 
+                if preempt_on:
+                    while (
+                        completions
+                        and completions[0][2].admit_gen != completions[0][3]
+                    ):
+                        heappop(completions)  # preempted before completing
                 steps = completions[0][0] - step
+                if chunking and steps > 1 and self._prefilling:
+                    steps = 1
+                if preempt_on and steps > 1 and not self._admission_blocked:
+                    if self._pending_decode and len(self.scheduler):
+                        steps = 1
+                    elif len(self.scheduler):
+                        shift = self.scheduler.next_priority_shift(
+                            self._clock
+                        )
+                        if shift is not None:
+                            steps = self._cap_steps_at_arrival(
+                                context_sum, batch, steps, shift
+                            )
                 if (
                     retired
                     and len(self.scheduler)
@@ -717,7 +999,7 @@ class SimulatedLLMEngine:
                 if (
                     self._future
                     and steps > 1
-                    and batch < self.config.max_batch_size
+                    and (batch < self.config.max_batch_size or preempt_on)
                 ):
                     steps = self._cap_steps_at_arrival(
                         context_sum, batch, steps, self._future[0][0]
@@ -739,14 +1021,20 @@ class SimulatedLLMEngine:
                     else:
                         vect.first[fresh] = start + first_dt
                     fresh.clear()
-                while completions and completions[0][0] <= step:
-                    _, _, m = heappop(completions)
+                while completions and (
+                    completions[0][2].admit_gen != completions[0][3]
+                    or completions[0][0] <= step
+                ):
+                    _, _, m, gen = heappop(completions)
+                    if m.admit_gen != gen:
+                        continue  # stale entry of a preempted member
                     m.decoded = m.request.output_tokens
                     batch -= 1
                     context_sum -= m.context_len
                     self._finish(m, done)
 
             metrics, prompt, cached, prefill, decode = vect.settle()
+            n = vect.n
             return EngineResult(
                 total_seconds=self._clock,
                 request_metrics=metrics,
@@ -762,9 +1050,15 @@ class SimulatedLLMEngine:
                 peak_kv_blocks=self._peak_blocks,
                 fragmentation_tokens=self._frag_at_peak,
                 scheduler=self.scheduler_name,
+                preemption=self.preemption,
+                n_preemptions=int(vect.npre[:n].sum()),
+                preempted_tokens_recomputed=int(vect.tok_rec[:n].sum()),
+                preempted_tokens_swapped=int(vect.tok_swap[:n].sum()),
+                n_prefill_chunks=int(vect.chunks[:n].sum()),
             )
         finally:
             self._vstate = None
+            self._preempt_detach = None
 
     # ------------------------------------------------------------ internals
     def _result(
@@ -790,6 +1084,15 @@ class SimulatedLLMEngine:
             peak_kv_blocks=self._peak_blocks,
             fragmentation_tokens=self._frag_at_peak,
             scheduler=self.scheduler_name,
+            preemption=self.preemption,
+            n_preemptions=sum(m.n_preemptions for m in done),
+            preempted_tokens_recomputed=sum(
+                m.preempted_tokens_recomputed for m in done
+            ),
+            preempted_tokens_swapped=sum(
+                m.preempted_tokens_swapped for m in done
+            ),
+            n_prefill_chunks=sum(m.n_prefill_chunks for m in done),
         )
 
     def _cap_steps_at_arrival(
@@ -846,27 +1149,71 @@ class SimulatedLLMEngine:
     def _admit(self, running: List[_Running], n_active: Optional[int] = None) -> None:
         """Admit the policy's picks while memory and batch slots allow,
         appending members to ``running``. The stepwise loop passes its full
-        running list; the event loop passes an empty wave list plus
-        ``n_active`` (its incremental batch count).
+        running list; the event loops pass an empty wave list plus
+        ``n_active`` (their incremental batch count).
 
         The policy only chooses *which* waiting request is next — if that
         request does not fit, admission blocks (no skip-ahead), exactly the
-        head-of-line semantics the offline FIFO had."""
+        head-of-line semantics the offline FIFO had. With preemption
+        enabled there is one escape: the policy may name a running victim
+        (:meth:`SchedulerPolicy.preempt_victim`) to evict from the batch —
+        both slot pressure and memory pressure consult it. Chunked prefill
+        is the other continuous-batching hook here: members mid-prefill
+        advance one chunk per admission point and join the batch when
+        their last chunk settles."""
         self._release_arrivals()
+        preempt_on = self.preemption != "off"
+        # Members admitted at the previous admission point are decoding by
+        # now in every replay mode — only now do they become viable
+        # preemption victims (the run loops insert them into their batch
+        # state after _admit returns). With preemption off no victim is
+        # ever picked, so the list is not maintained at all.
+        if self._pending_decode:
+            for m in self._pending_decode:
+                m.in_decode = True
+                self._decode_order.append(m)
+            self._pending_decode.clear()
+        ready = self._advance_chunks() if self.chunk_tokens is not None else None
+        if ready:
+            running.extend(ready)
+            if preempt_on:
+                self._pending_decode.extend(ready)
         if self._admission_blocked:
             return
-        base = len(running) if n_active is None else n_active
+        base = len(running) if n_active is None else n_active + len(ready or ())
         cache_on = self.config.enable_prefix_cache
         cache = self.cache
         bm = self.blocks
         sched = self.scheduler
+        chunk_cap = self.chunk_tokens
         wave: List[Tuple[int, int]] = []  # (new_tokens, cached_prefix) per admission
-        wave_members: List[_Running] = []
-        while base + len(wave_members) < self.config.max_batch_size:
-            req = sched.select(cache if cache_on else None)
+        wave_members: List[_Running] = []  # new batch entrants (fresh + re-admitted)
+        stamped: List[_Running] = []  # fresh entrants: admitted_at_s post-wave
+        n_admitted = 0  # admissions charged per-request overhead (incl. chunk starts)
+        swap_in_tokens = 0
+        while True:
+            if (
+                base + len(wave_members) + len(self._prefilling)
+                >= self.config.max_batch_size
+            ):
+                if not preempt_on:
+                    break
+                req = sched.select(cache if cache_on else None, now=self._clock)
+                if req is None:
+                    break
+                victim = self._pick_victim(req)
+                if victim is None:
+                    break
+                self._preempt_member(victim)
+                base -= 1
+                # Re-select below: select is deterministic and
+                # mutation-free, so the same candidate comes back.
+                continue
+            req = sched.select(cache if cache_on else None, now=self._clock)
             if req is None:
                 break
             prompt_len = req.prompt_len
+            parked = self._parked.get(req.request_id) if preempt_on else None
             hit = (
                 cache.match(req.prompt_tokens, req.prompt_bytes)
                 if cache_on
@@ -876,35 +1223,89 @@ class SimulatedLLMEngine:
             # Shared tokens enter the radix tree; decode KV (and, without a
             # cache, the whole prompt) is reserved privately up front.
             private_growth = req.output_tokens + (0 if cache_on else prompt_len)
+            # Chunked prefill applies to first admissions only: a
+            # re-admitted request's recompute tail re-prefills in one pass
+            # (its prompt path is typically still cached anyway).
+            chunks: Optional[List[int]] = None
+            if parked is None and chunk_cap is not None:
+                pre_tokens = new_prompt if cache_on else prompt_len
+                if pre_tokens > chunk_cap:
+                    chunks = [chunk_cap] * (pre_tokens // chunk_cap)
+                    if pre_tokens % chunk_cap:
+                        chunks.append(pre_tokens % chunk_cap)
             if bm is not None:
                 # Paged admission charges whole blocks: the matched prefix
                 # is fork-shared (zero new blocks), the suffix rounds up to
-                # its own blocks, and the private tail (decode KV, plus the
-                # prompt when the cache is off) reserves its blocks now so
-                # block-by-block growth can never fail.
+                # its own blocks — per chunk when chunked, since every
+                # chunk edge is its own allocation — and the private tail
+                # (decode KV, plus the prompt when the cache is off)
+                # reserves its blocks now so block-by-block growth can
+                # never fail.
                 if cache_on:
-                    need = bm.blocks_needed(new_prompt) + bm.blocks_needed(
-                        req.output_tokens
-                    )
+                    if chunks is not None:
+                        pre_blocks = sum(bm.blocks_needed(c) for c in chunks)
+                    else:
+                        pre_blocks = bm.blocks_needed(new_prompt)
+                    need = pre_blocks + bm.blocks_needed(req.output_tokens)
                 else:
+                    pre_blocks = 0
                     need = bm.blocks_needed(prompt_len + req.output_tokens)
                 free = bm.free_blocks - self._reserved_blocks
                 unit = "blocks"
             else:
+                pre_blocks = 0
                 need = (new_prompt if cache_on else 0) + private_growth
                 free = self.capacity_tokens - self._used_tokens()
                 unit = "tokens"
-            if need > free and cache_on:
-                if self._use_pins:
-                    # Running requests' paths are pinned persistently; only
-                    # this request's matched prefix needs transient cover.
-                    protected: List[Sequence[int]] = [req.prompt_tokens[:hit]]
-                else:
-                    protected = [r.request.prompt_tokens for r in running]
-                    protected.append(req.prompt_tokens[:hit])
-                free += cache.evict(need - free, protected=protected, unit=unit)
+            if self._quota_on:
+                quota = bm.tenant_quota(req.tenant)
+                if quota is not None and bm.tenant_used(req.tenant) + need > quota:
+                    # A quota-full tenant blocks head-of-line like a full
+                    # pool; preempting other tenants cannot help, so the
+                    # victim hook is not consulted. A request that exceeds
+                    # its tenant's whole quota can never run — surface that
+                    # once the engine would otherwise sit idle on it.
+                    if (
+                        need > quota
+                        and bm.tenant_used(req.tenant) == 0
+                        and base == 0
+                        and not wave_members
+                        and not self._prefilling
+                    ):
+                        raise CapacityError(
+                            f"request {req.request_id} needs {need} KV "
+                            f"blocks; tenant {req.tenant!r} is capped at "
+                            f"{quota} blocks"
+                        )
+                    self._admission_blocked = True
+                    break
+            while need > free:
+                if cache_on:
+                    free += cache.evict(
+                        need - free,
+                        protected=self._protected_paths(running, req, hit),
+                        unit=unit,
+                    )
+                    if need <= free:
+                        break
+                if preempt_on:
+                    victim = self._pick_victim(req)
+                    if victim is not None:
+                        self._preempt_member(victim)
+                        base -= 1
+                        # The victim's unpinned path may now be evictable
+                        # and its tail blocks are back in the pool;
+                        # re-probe with a protected list rebuilt from the
+                        # shrunken running set.
+                        free = (
+                            bm.free_blocks - self._reserved_blocks
+                            if bm is not None
+                            else self.capacity_tokens - self._used_tokens()
+                        )
+                        continue
+                break
             if need > free:
-                if base == 0 and not wave_members:
+                if base == 0 and not wave_members and not self._prefilling:
                     if bm is not None:
                         raise CapacityError(
                             f"request {req.request_id} needs {need} KV blocks; "
@@ -920,6 +1321,31 @@ class SimulatedLLMEngine:
                 self._admission_blocked = True
                 break  # wait for a completion (or arrival) to change things
             sched.pop(req)
+            quota_need = 0
+            if self._quota_on:
+                bm.charge_tenant(req.tenant, need)
+                quota_need = need
+
+            if parked is not None:
+                # Re-admission of a preempted member: restore its decode
+                # tail (swap it back in, or re-prefill it) and rejoin the
+                # batch with decode progress intact.
+                del self._parked[req.request_id]
+                swap_in_tokens += self._readmit(parked, hit, new_prompt, wave)
+                parked.quota_charge = quota_need
+                wave_members.append(parked)
+                running.append(parked)
+                self._pending_decode.append(parked)
+                n_admitted += 1
+                continue
+            if chunks is not None:
+                member = self._start_chunked(
+                    req, hit, new_prompt, chunks, pre_blocks,
+                    private_growth, wave,
+                )
+                member.quota_charge = quota_need
+                n_admitted += 1
+                continue
 
             pin = None
             if cache_on:
@@ -970,28 +1396,389 @@ class SimulatedLLMEngine:
                 pin=pin,
                 forks=forks,
                 tail=tail,
+                hit=hit,
+                quota_charge=quota_need,
             )
             wave.append((new_prompt, hit))
             wave_members.append(member)
+            stamped.append(member)
             running.append(member)
+            if preempt_on:
+                self._pending_decode.append(member)
+            n_admitted += 1
 
-        if wave_members:
+        if n_admitted:
             # One merged prefill pass for the whole admission wave: the
             # weight read amortizes across requests (continuous batching).
-            # Per-request serving overhead is charged here too.
+            # Per-request serving overhead is charged here too, and swap-in
+            # traffic for re-admitted members rides the same wave.
             self._clock += self.cost.prefill_wave_time(wave)
-            self._clock += self.cost.per_request_overhead_s * len(wave_members)
+            self._clock += self.cost.per_request_overhead_s * n_admitted
+            if swap_in_tokens:
+                self._clock += self.cost.swap_time(swap_in_tokens)
             vect = self._vstate
-            if vect is not None:
-                if len(wave_members) == 1:
-                    vect.admitted[wave_members[0].idx] = self._clock
+            if stamped:
+                if vect is not None:
+                    if len(stamped) == 1:
+                        vect.admitted[stamped[0].idx] = self._clock
+                    else:
+                        vect.admitted[[m.idx for m in stamped]] = self._clock
                 else:
-                    vect.admitted[[m.idx for m in wave_members]] = self._clock
+                    for member in stamped:
+                        member.metrics.admitted_at_s = self._clock
+
+    def _protected_paths(
+        self, running: List[_Running], req: Request, hit: int
+    ) -> List[Sequence[int]]:
+        """Eviction-protection list for an admission-time evict. Pin modes
+        protect persistently via pin counts, so only the candidate's
+        matched prefix needs transient cover; the scan-based oracle mode
+        protects running prompts (and mid-chunk partial paths) explicitly.
+        Rebuilt before every evict call — a preemption may have shrunk the
+        running set since the last probe."""
+        if self._use_pins:
+            return [req.prompt_tokens[:hit]]
+        protected: List[Sequence[int]] = [
+            r.request.prompt_tokens for r in running
+        ]
+        for p in self._prefilling:
+            protected.append(p.request.prompt_tokens[: p.hit + p.done_prefill])
+        protected.append(req.prompt_tokens[:hit])
+        return protected
+
+    def _advance_chunks(self) -> List[_Running]:
+        """Advance every mid-prefill member by one chunk; returns the
+        members whose prefill just completed (ready to join the batch).
+        Chunks across members merge into one prefill wave, amortizing the
+        weight read exactly like an admission wave."""
+        if not self._prefilling:
+            return []
+        wave: List[Tuple[int, int]] = []
+        ready: List[_Running] = []
+        still: List[_Running] = []
+        for m in self._prefilling:
+            wave.append(self._chunk_step(m))
+            (still if m.chunks_left else ready).append(m)
+        self._prefilling = still
+        self._clock += self.cost.prefill_wave_time(wave)
+        bm = self.blocks
+        cache_on = self.config.enable_prefix_cache
+        vect = self._vstate
+        for m in ready:
+            req = m.request
+            if bm is not None:
+                if m.prefill_reserved:
+                    # Per-chunk block rounding (or content another request
+                    # shared mid-flight) over-reserved; return the rest.
+                    self._reserved_blocks -= m.prefill_reserved
+                    m.prefill_reserved = 0
+                if cache_on:
+                    if vect is not None:
+                        bundle = self.cache.fork_path_bundle(req.prompt_tokens)
+                        m.forks = [bundle] if bundle is not None else None
+                    else:
+                        m.forks = self.cache.fork_path(req.prompt_tokens)
+            m.chunks_left = None
+            # The post-prefill admission stamp, at the clock of the wave
+            # that settled the last chunk.
+            if vect is not None:
+                vect.admitted[m.idx] = self._clock
             else:
-                for member in wave_members:
-                    member.metrics.admitted_at_s = self._clock
+                m.metrics.admitted_at_s = self._clock
+        return ready
+
+    def _chunk_step(self, m: _Running) -> Tuple[int, int]:
+        """Prefill ``m``'s next chunk; returns its prefill-wave entry.
+        Cache on: the chunk extends the radix path (drawing blocks out of
+        the chunk reservation) and the pin rolls forward to cover it.
+        Cache off: the private tail grows by the chunk."""
+        c = m.chunks_left.pop(0)
+        req = m.request
+        cache_on = self.config.enable_prefix_cache
+        bm = self.blocks
+        start = m.hit + m.done_prefill if cache_on else m.done_prefill
+        if cache_on:
+            k = m.hit + m.done_prefill + c
+            packed = (
+                req.prompt_bytes[: 8 * k]
+                if req.prompt_bytes is not None
+                else None
+            )
+            if bm is not None:
+                before = bm.free_blocks
+                self.cache.insert(req.prompt_tokens[:k], packed)
+                drawn = before - bm.free_blocks
+                m.prefill_reserved -= drawn
+                self._reserved_blocks -= drawn
+                if m.prefill_reserved < 0 or self._reserved_blocks < 0:
+                    raise ServingError(
+                        "chunked prefill drew past its block reservation"
+                    )
+            else:
+                self.cache.insert(req.prompt_tokens[:k], packed)
+            if self._use_pins:
+                pin = self.cache.pin(req.prompt_tokens[:k])
+                if m.pin is not None:
+                    self.cache.unpin(m.pin)
+                m.pin = pin
+        elif bm is not None:
+            self._grow_tail(m, c)
+        m.done_prefill += c
+        return (c, start)
+
+    def _start_chunked(
+        self,
+        req: Request,
+        hit: int,
+        new_prompt: int,
+        chunks: List[int],
+        pre_blocks: int,
+        private_growth: int,
+        wave: List[Tuple[int, int]],
+    ) -> _Running:
+        """Admit a long-prefill request in chunked mode: it occupies a
+        batch slot and holds its full admission charge immediately, but
+        only its first chunk prefills in this wave — the rest advance one
+        chunk per admission point (:meth:`_advance_chunks`), and the
+        member starts decoding once its last chunk settles. Mid-prefill
+        members are not preemption victims (their decode tail is empty;
+        evicting them would only churn the chunk reservation)."""
+        bm = self.blocks
+        cache_on = self.config.enable_prefix_cache
+        vect = self._vstate
+        tail = None
+        if bm is not None:
+            tail = bm.allocate(0)
+            if cache_on:
+                self._reserved_blocks += (
+                    pre_blocks + bm.blocks_needed(req.output_tokens)
+                )
+            else:
+                self._reserved_blocks += bm.blocks_needed(
+                    req.prompt_len + req.output_tokens
+                )
+        self._private_tokens += private_growth
+        if vect is not None:
+            metrics = None
+            idx = vect.add(req, hit, new_prompt)
+            vect.chunks[idx] = len(chunks)
+        else:
+            idx = -1
+            metrics = RequestMetrics(
+                request_id=req.request_id,
+                prompt_tokens=req.prompt_len,
+                cached_tokens=hit,
+                prefill_tokens=new_prompt,
+                arrival_s=req.arrival_s,
+                tenant=req.tenant,
+                n_prefill_chunks=len(chunks),
+            )
+        member = _Running(
+            request=req,
+            metrics=metrics,
+            reserved_tokens=private_growth,
+            idx=idx,
+            tail=tail,
+            hit=hit,
+            chunks_left=list(chunks),
+            prefill_reserved=pre_blocks if (bm is not None and cache_on) else 0,
+        )
+        # The first chunk rides this admission wave; admitted_at_s is
+        # stamped when the last chunk settles (the post-prefill
+        # convention, unchanged).
+        wave.append(self._chunk_step(member))
+        self._prefilling.append(member)
+        return member
+
+    def _readmit(
+        self,
+        m: _Running,
+        hit: int,
+        new_prompt: int,
+        wave: List[Tuple[int, int]],
+    ) -> int:
+        """Rebuild a parked member's engine-side state at re-admission and
+        append its prefill-wave entry; returns the KV tokens swapped back
+        in (0 in recompute mode). The caller has already charged admission
+        (need/free/quota) with the same formulas as a fresh request."""
+        req = m.request
+        cache_on = self.config.enable_prefix_cache
+        bm = self.blocks
+        swap = self.preemption == "swap"
+        d = m.decoded
+        prompt_len = req.prompt_len
+        m.hit = hit
+        pin = None
+        if cache_on:
+            self.cache.insert(req.prompt_tokens, req.prompt_bytes)
+            if self._use_pins:
+                pin = self.cache.pin(req.prompt_tokens)
+        m.pin = pin
+        # Tail KV restored on-device: the decoded tokens, plus the whole
+        # prompt when the cache is off (it was parked/dropped privately).
+        tail_tokens = d + (0 if cache_on else prompt_len)
+        if bm is not None:
+            if cache_on:
+                if m.metrics is None:
+                    bundle = self.cache.fork_path_bundle(req.prompt_tokens)
+                    m.forks = [bundle] if bundle is not None else None
+                else:
+                    m.forks = self.cache.fork_path(req.prompt_tokens)
+            tail = bm.unpark(tail_tokens) if swap else bm.allocate(tail_tokens)
+            final = req.output_tokens + (0 if cache_on else prompt_len)
+            self._reserved_blocks += (
+                bm.blocks_needed(final) - len(tail.block_ids)
+            )
+            m.tail = tail
+        private_growth = req.output_tokens + (0 if cache_on else prompt_len)
+        self._private_tokens += private_growth
+        m.reserved_tokens = private_growth
+        # Re-prefill work and the wave entry: recompute redoes the suffix
+        # plus the dropped tail in one contiguous span (positions
+        # hit..prompt_len+d); swap prefills only the suffix (nothing at
+        # all cache-off) and pays PCIe time for the tail instead.
+        if swap:
+            entry = (new_prompt if cache_on else 0, hit)
+            swapped_in = tail_tokens
+        else:
+            entry = (new_prompt + d, hit) if cache_on else (prompt_len + d, 0)
+            swapped_in = 0
+        vect = self._vstate
+        if vect is not None:
+            vect.cached[m.idx] += hit
+            vect.prefill[m.idx] += entry[0]
+        else:
+            m.metrics.cached_tokens += hit
+            m.metrics.prefill_tokens += entry[0]
+        wave.append(entry)
+        return swapped_in
+
+    def _pick_victim(self, candidate: Request) -> Optional[_Running]:
+        """Ask the policy for a preemption victim among decoding members."""
+        if not self._decode_order:
+            return None
+        choice = self.scheduler.preempt_victim(
+            candidate,
+            [m.request for m in self._decode_order],
+            now=self._clock,
+        )
+        if choice is None:
+            return None
+        for m in self._decode_order:
+            if m.request is choice:
+                return m
+        raise ServingError(
+            "preempt_victim returned a request that is not decoding"
+        )
+
+    def _preempt_member(self, m: _Running) -> None:
+        """Evict a decoding member from the batch. Its decode-tail KV is
+        either dropped for re-prefill (``recompute``) or parked in host
+        memory (``swap``); either way the member keeps its metrics row and
+        decode progress, re-enters the waiting queue, and is re-admitted
+        like any other candidate (head-of-line, same need accounting)."""
+        req = m.request
+        self._preempt_detach(m)  # event modes also settle m.decoded here
+        for i, x in enumerate(self._decode_order):
+            if x is m:
+                del self._decode_order[i]
+                break
+        else:
+            raise ServingError("preempted a member that is not decoding")
+        m.in_decode = False
+        m.admit_gen += 1  # completion-heap entries for this stint are dead
+        cache_on = self.config.enable_prefix_cache
+        swap = self.preemption == "swap"
+        d = m.decoded
+        # KV actually evicted: the decode tail, plus the whole prompt when
+        # the prefix cache is off (it is private then) — a cached prompt
+        # path stays in the radix tree and is merely unpinned.
+        target = d + (0 if cache_on else req.prompt_len)
+        vect = self._vstate
+        if vect is not None:
+            vect.npre[m.idx] += 1
+            if swap:
+                vect.tok_swap[m.idx] += target
+            else:
+                vect.tok_rec[m.idx] += target
+        else:
+            m.metrics.n_preemptions += 1
+            if swap:
+                m.metrics.preempted_tokens_swapped += target
+            else:
+                m.metrics.preempted_tokens_recomputed += target
+        self._private_tokens -= m.reserved_tokens
+        m.reserved_tokens = 0
+        if self._private_tokens < 0:
+            raise ServingError("private KV accounting went negative")
+        if m.pin is not None:
+            self.cache.unpin(m.pin)
+            m.pin = None
+        bm = self.blocks
+        if m.tail is not None:
+            tail = m.tail
+            final = req.output_tokens + (0 if cache_on else req.prompt_len)
+            full_blocks = bm.blocks_needed(tail.start_offset + final)
+            if m.metrics is None:
+                # Vector mode: settle the deferred block-by-block growth
+                # through the reservation counter (see _finish) instead of
+                # drawing and releasing in the same breath.
+                settled = bm.blocks_needed(tail.start_offset + target)
+                draw = settled - len(tail.block_ids)
+                if draw > 0:
+                    self._reserved_blocks -= draw
+                self._reserved_blocks -= full_blocks - settled
+                if self._reserved_blocks < 0:
+                    raise ServingError(
+                        "decode block reservation went negative"
+                    )
+                bm.release(tail)
+                if swap:
+                    bm.parked_tokens += target
+            else:
+                if tail.n_tokens < target:
+                    self._grow_tail(m, target - tail.n_tokens)
+                self._reserved_blocks -= full_blocks - len(tail.block_ids)
+                if self._reserved_blocks < 0:
+                    raise ServingError(
+                        "decode block reservation went negative"
+                    )
+                if swap:
+                    bm.park(tail)
+                else:
+                    bm.release(tail)
+            m.tail = None
+        if m.forks:
+            for fork in m.forks:
+                bm.release(fork)
+            m.forks = None
+        if m.quota_charge and bm is not None:
+            bm.uncharge_tenant(req.tenant, m.quota_charge)
+            m.quota_charge = 0
+        if swap:
+            # Swap-out traffic is charged immediately, before any further
+            # admission work at this clock.
+            self._clock += self.cost.swap_time(target)
+        self._parked[req.request_id] = m
+        self.scheduler.submit(req)
 
     def _finish(self, r: _Running, done: List[RequestMetrics]) -> None:
+        if r.in_decode:
+            for i, x in enumerate(self._decode_order):
+                if x is r:
+                    del self._decode_order[i]
+                    break
+            r.in_decode = False
+        elif self._pending_decode:
+            # Zero-output members retire before ever reaching the victim
+            # list; drop their pending registration.
+            for i, x in enumerate(self._pending_decode):
+                if x is r:
+                    del self._pending_decode[i]
+                    break
+        if r.quota_charge and self.blocks is not None:
+            self.blocks.uncharge_tenant(r.request.tenant, r.quota_charge)
+            r.quota_charge = 0
         self._private_tokens -= r.reserved_tokens
         if self._private_tokens < 0:
             raise ServingError("private KV accounting went negative")

@@ -21,7 +21,9 @@ class Request:
     ``arrival_s`` is the absolute simulation time the request becomes
     visible to the scheduler (0.0 = already present, the offline batch
     shape); ``tenant`` tags the request for fair-share scheduling and
-    per-tenant SLO breakdowns.
+    per-tenant SLO breakdowns. ``deadline_s`` is the request's SLO
+    deadline *relative to arrival* (None = use the deadline scheduler's
+    default); only the ``deadline`` policy reads it.
     """
 
     request_id: int
@@ -31,6 +33,7 @@ class Request:
     prompt_bytes: Optional[bytes] = None
     arrival_s: float = 0.0
     tenant: str = ""
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if not isinstance(self.prompt_tokens, tuple):
@@ -42,6 +45,8 @@ class Request:
             raise ValueError("output_tokens must be >= 0")
         if not self.arrival_s >= 0.0 or self.arrival_s == float("inf"):
             raise ValueError("arrival_s must be a finite time >= 0")
+        if self.deadline_s is not None and not self.deadline_s > 0.0:
+            raise ValueError("deadline_s must be positive when set")
 
     @property
     def prompt_len(self) -> int:
@@ -67,6 +72,12 @@ class RequestMetrics:
     finished_at_s: float = 0.0
     arrival_s: float = 0.0
     tenant: str = ""
+    # Continuous-batching lifecycle counters (all zero in the one-shot
+    # admit-and-forget engine, so pre-preemption replays are unchanged).
+    n_preemptions: int = 0
+    preempted_tokens_recomputed: int = 0
+    preempted_tokens_swapped: int = 0
+    n_prefill_chunks: int = 0
 
     @property
     def hit_rate(self) -> float:

@@ -37,10 +37,29 @@ Policies (``EngineConfig.scheduler`` / :data:`SCHEDULER_POLICIES`):
     admit while its head request costs no more than its deficit. Bounds
     cross-tenant interference without starving anyone.
 
+``"deadline"``
+    Earliest-deadline-first against each request's SLO deadline
+    (``Request.deadline_s`` relative to arrival, falling back to the
+    policy's ``deadline_s`` default). EDF *is* priority aging: a waiting
+    request's priority rises monotonically as the clock approaches its
+    deadline, so old requests cannot be starved by a stream of newer
+    ones. Requests that are already past their deadline when selection
+    runs are **shed to the back of the queue** (they still complete —
+    no work is dropped — but they stop blocking requests that can still
+    meet their SLO, which is where the goodput-under-overload win comes
+    from). This is also the only built-in policy that implements
+    :meth:`SchedulerPolicy.preempt_victim`: under memory or batch-slot
+    pressure it preempts the *running* request with the latest absolute
+    deadline, strictly later than the candidate's.
+
 No policy skips ahead of its own choice: if the selected request does not
 fit in KV memory, admission blocks until a completion (or a new arrival,
 which may change the choice) — head-of-line semantics identical to the
 offline engine's, so policies differ only in *which* head they expose.
+With preemption enabled (``EngineConfig.preemption != "off"``) a policy
+may additionally name a running victim to evict from the batch via
+:meth:`SchedulerPolicy.preempt_victim`; the default implementation names
+none, so every pre-existing policy keeps its exact behavior.
 
 ``REPRO_SERVING_ONLINE=0`` disables the online layer end to end: engines
 force the FCFS policy and trace replay drops arrival stamps (everything
@@ -74,6 +93,17 @@ def serving_online_enabled() -> bool:
     return flag not in ("0", "false", "off", "no")
 
 
+def serving_preempt_enabled() -> bool:
+    """Whether the continuous-batching layer (decode preemption, chunked
+    prefill, the deadline scheduler) is enabled. ``REPRO_SERVING_PREEMPT=0``
+    forces the one-shot admit-and-forget reference engine — preemption off,
+    prompts prefilled monolithically, ``deadline`` mapped to ``fcfs`` —
+    reproducing the pre-continuous-batching engine bit for bit, mirroring
+    ``REPRO_SERVING_ONLINE`` one layer up."""
+    flag = os.environ.get("REPRO_SERVING_PREEMPT", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
 # --------------------------------------------------------------------------
 # Scheduling policies
 # --------------------------------------------------------------------------
@@ -82,9 +112,13 @@ class SchedulerPolicy:
 
     The engine calls :meth:`select` to peek at the next admission candidate
     (repeatedly — the call must be deterministic and mutation-free given an
-    unchanged pool) and :meth:`pop` to commit the admission. ``cache`` is
-    the engine's radix cache (None when prefix caching is off); policies
-    may probe it with the side-effect-free ``match_len`` only.
+    unchanged pool and clock) and :meth:`pop` to commit the admission.
+    ``cache`` is the engine's radix cache (None when prefix caching is
+    off); policies may probe it with the side-effect-free ``match_len``
+    only. ``now`` is the engine clock at the admission point — the clock
+    only advances at event boundaries, where both replay modes probe
+    admission at identical times, so clock-dependent selection stays
+    mode-equivalent.
     """
 
     name = "base"
@@ -92,12 +126,43 @@ class SchedulerPolicy:
     def submit(self, request: Request) -> None:
         raise NotImplementedError
 
-    def select(self, cache=None) -> Optional[Request]:
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         raise NotImplementedError
 
     def pop(self, request: Request) -> None:
         """Remove ``request`` — must be the current :meth:`select` choice."""
         raise NotImplementedError
+
+    def preempt_victim(
+        self,
+        candidate: Request,
+        running: Sequence[Request],
+        now: float = 0.0,
+    ) -> Optional[Request]:
+        """Name a *running* request to preempt so ``candidate`` can be
+        admitted, or None to decline (the default — no built-in policy
+        preempts unless it overrides this, so enabling
+        ``EngineConfig.preemption`` changes nothing under fcfs/sjf/
+        prefix-affinity/fair-share).
+
+        Called by the engine only when preemption is enabled and the
+        selected ``candidate`` cannot be admitted (KV memory or batch
+        slots exhausted). ``running`` is the decoding batch in decode-start
+        order; the return value must be one of its members. The decision
+        must depend only on the requests and ``now`` — not on decode
+        progress, which the event-driven replay modes do not materialize
+        between events."""
+        return None
+
+    def next_priority_shift(self, now: float) -> Optional[float]:
+        """Earliest future time at which this policy's selection order can
+        change with *no* new arrival or completion (e.g. a waiting request
+        crossing its deadline), or None when the order is time-invariant
+        (the default). The event-driven engines cut their closed-form
+        decode runs at this time so time-driven priority shifts land at
+        the same step boundary in every replay mode — the stepwise loop
+        sees them naturally by probing every step."""
+        return None
 
     def drain(self) -> List[Request]:
         """Remove and return every waiting request (failed-job cleanup)."""
@@ -118,7 +183,7 @@ class FCFSPolicy(SchedulerPolicy):
     def submit(self, request: Request) -> None:
         self._queue.append(request)
 
-    def select(self, cache=None) -> Optional[Request]:
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         return self._queue[0] if self._queue else None
 
     def pop(self, request: Request) -> None:
@@ -148,7 +213,7 @@ class SJFPolicy(SchedulerPolicy):
         heappush(self._heap, (request.prompt_len, self._seq, request))
         self._seq += 1
 
-    def select(self, cache=None) -> Optional[Request]:
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         return self._heap[0][2] if self._heap else None
 
     def pop(self, request: Request) -> None:
@@ -183,7 +248,7 @@ class PrefixAffinityPolicy(SchedulerPolicy):
         self._pool.append((self._seq, request))
         self._seq += 1
 
-    def select(self, cache=None) -> Optional[Request]:
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         if not self._pool:
             return None
         if cache is None:
@@ -267,7 +332,7 @@ class FairSharePolicy(SchedulerPolicy):
             deficit[tenant] += self.quantum_tokens
             i = (i + 1) % len(order)
 
-    def select(self, cache=None) -> Optional[Request]:
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         return self._walk(commit=False)
 
     def pop(self, request: Request) -> None:
@@ -303,7 +368,107 @@ class FairSharePolicy(SchedulerPolicy):
         return self._n
 
 
-SCHEDULER_POLICIES = ("fcfs", "sjf", "prefix-affinity", "fair-share")
+class DeadlinePolicy(SchedulerPolicy):
+    """Earliest-deadline-first with late-request shedding.
+
+    Each request's absolute deadline is ``arrival_s + deadline_s`` where
+    ``deadline_s`` comes from the request (``Request.deadline_s``) or the
+    policy default. EDF gives monotone priority aging for free — waiting
+    requests climb the queue as the clock approaches their deadline.
+    Requests already past their deadline at selection time are shed to the
+    back (FCFS among themselves): they still complete, but they no longer
+    block requests that can still meet their SLO.
+
+    Selection is an O(pool) mutation-free scan (same shape as
+    :class:`PrefixAffinityPolicy`); the late/on-time split depends only on
+    ``now``, which the engine passes from its event clock, so repeated
+    selects at one admission point agree across replay modes.
+    """
+
+    name = "deadline"
+
+    def __init__(self, deadline_s: float = 10.0):
+        if deadline_s <= 0:
+            raise ServingError(f"deadline_s must be positive, got {deadline_s}")
+        self.deadline_s = deadline_s
+        self._pool: List[Tuple[int, Request]] = []  # (submit seq, request)
+        self._seq = 0
+
+    def deadline_of(self, request: Request) -> float:
+        """Absolute deadline of ``request`` (arrival + relative SLO)."""
+        rel = getattr(request, "deadline_s", None)
+        return request.arrival_s + (rel if rel is not None else self.deadline_s)
+
+    def _key(self, seq: int, req: Request, now: float) -> Tuple[int, float, int]:
+        deadline = self.deadline_of(req)
+        late = 1 if deadline < now else 0
+        # Late requests fall back to FCFS order behind every on-time one.
+        return (late, seq, seq) if late else (late, deadline, seq)
+
+    def submit(self, request: Request) -> None:
+        self._pool.append((self._seq, request))
+        self._seq += 1
+
+    def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
+        if not self._pool:
+            return None
+        best = None
+        best_key: Optional[Tuple[int, float, int]] = None
+        for seq, req in self._pool:
+            key = self._key(seq, req, now)
+            if best is None or key < best_key:
+                best, best_key = req, key
+        return best
+
+    def pop(self, request: Request) -> None:
+        for i, (_, req) in enumerate(self._pool):
+            if req is request:
+                del self._pool[i]
+                return
+        raise ServingError("pop of a request not in the pool")
+
+    def preempt_victim(
+        self,
+        candidate: Request,
+        running: Sequence[Request],
+        now: float = 0.0,
+    ) -> Optional[Request]:
+        """Preempt the running request with the *latest* absolute deadline,
+        but only if it is strictly later than the candidate's — the strict
+        order means a re-admitted victim can never preempt its preemptor
+        back, so preemption cannot livelock."""
+        cand_deadline = self.deadline_of(candidate)
+        victim = None
+        victim_deadline = cand_deadline
+        for req in running:
+            deadline = self.deadline_of(req)
+            # >= keeps the latest-started member among equal deadlines —
+            # it has the least sunk decode work to throw away.
+            if deadline > cand_deadline and deadline >= victim_deadline:
+                victim, victim_deadline = req, deadline
+        return victim
+
+    def next_priority_shift(self, now: float) -> Optional[float]:
+        """The next waiting deadline to expire: when it does, that request
+        is shed to the late bucket and a different head — with different
+        preemption leverage — emerges."""
+        best = None
+        for _, req in self._pool:
+            deadline = self.deadline_of(req)
+            if deadline >= now and (best is None or deadline < best):
+                best = deadline
+        return best
+
+    def drain(self) -> List[Request]:
+        out = [r for _, r in sorted(self._pool, key=lambda e: e[0])]
+        self._pool.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
+SCHEDULER_POLICIES = ("fcfs", "sjf", "prefix-affinity", "fair-share", "deadline")
 
 
 def validate_policy_name(name: str) -> str:
@@ -327,6 +492,8 @@ def make_policy(name: str, **kwargs) -> SchedulerPolicy:
         return PrefixAffinityPolicy(**kwargs)
     if name == "fair-share":
         return FairSharePolicy(**kwargs)
+    if name == "deadline":
+        return DeadlinePolicy(**kwargs)
     raise ServingError(
         f"unknown scheduler policy {name!r}; choose from {SCHEDULER_POLICIES}"
     )
@@ -384,6 +551,10 @@ class SLOReport:
     goodput_requests: int
     goodput_tokens_per_s: float
     per_tenant: Dict[str, "SLOReport"] = field(default_factory=dict)
+    n_preemptions: int = 0
+    preempted_tokens_recomputed: int = 0
+    preempted_tokens_swapped: int = 0
+    n_prefill_chunks: int = 0
 
     @property
     def attainment(self) -> float:
@@ -416,6 +587,12 @@ class SLOReport:
                 f"{self.n_requests} on time, goodput "
                 f"{self.goodput_tokens_per_s:.1f} decode tok/s"
             )
+        if self.n_preemptions:
+            lines.append(
+                f"preemptions {self.n_preemptions}: "
+                f"{self.preempted_tokens_recomputed} tok recomputed, "
+                f"{self.preempted_tokens_swapped} tok swapped"
+            )
         return "\n".join(lines)
 
 
@@ -430,6 +607,10 @@ def compute_slo(
     if not metrics:
         empty = LatencySummary.of(())
         return SLOReport(0, deadline_s, empty, empty, empty, 0, 0.0)
+    n_preempt = sum(m.n_preemptions for m in metrics)
+    tok_recomputed = sum(m.preempted_tokens_recomputed for m in metrics)
+    tok_swapped = sum(m.preempted_tokens_swapped for m in metrics)
+    n_chunks = sum(m.n_prefill_chunks for m in metrics)
     on_time = [
         m for m in metrics if deadline_s is None or m.e2e_s <= deadline_s
     ]
@@ -454,4 +635,8 @@ def compute_slo(
         goodput_requests=len(on_time),
         goodput_tokens_per_s=goodput_tokens / span if span > 0 else 0.0,
         per_tenant=per_tenant,
+        n_preemptions=n_preempt,
+        preempted_tokens_recomputed=tok_recomputed,
+        preempted_tokens_swapped=tok_swapped,
+        n_prefill_chunks=n_chunks,
     )

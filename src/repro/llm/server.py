@@ -45,6 +45,13 @@ class JobStats:
     #: arrival at submission time.
     scheduler: str = "fcfs"
     slo: Optional[SLOReport] = None
+    #: Continuous-batching accounting (all zero with ``preemption="off"``
+    #: and monolithic prefill — the one-shot admit-and-forget shape).
+    preemption: str = "off"
+    n_preemptions: int = 0
+    preempted_tokens_recomputed: int = 0
+    preempted_tokens_swapped: int = 0
+    n_prefill_chunks: int = 0
 
     @property
     def p95_ttft_s(self) -> float:
@@ -155,6 +162,11 @@ class BatchInferenceServer:
                 n_distinct_prompts=len(set(prompts)),
                 scheduler=er.scheduler,
                 slo=er.slo(),
+                preemption=er.preemption,
+                n_preemptions=er.n_preemptions,
+                preempted_tokens_recomputed=er.preempted_tokens_recomputed,
+                preempted_tokens_swapped=er.preempted_tokens_swapped,
+                n_prefill_chunks=er.n_prefill_chunks,
             )
         )
         return result
@@ -197,6 +209,11 @@ class BatchInferenceServer:
                 n_distinct_prompts=len({r.prompt for r in trace.requests}),
                 scheduler=er.scheduler,
                 slo=result.slo,
+                preemption=er.preemption,
+                n_preemptions=er.n_preemptions,
+                preempted_tokens_recomputed=er.preempted_tokens_recomputed,
+                preempted_tokens_swapped=er.preempted_tokens_swapped,
+                n_prefill_chunks=er.n_prefill_chunks,
             )
         )
         return result
@@ -243,6 +260,11 @@ class BatchInferenceServer:
                 n_distinct_prompts=len({r.prompt for r in trace.requests}),
                 scheduler=f"{result.routing}@{result.n_replicas}r",
                 slo=result.slo,
+                preemption=result.preemption,
+                n_preemptions=result.n_preemptions,
+                preempted_tokens_recomputed=result.preempted_tokens_recomputed,
+                preempted_tokens_swapped=result.preempted_tokens_swapped,
+                n_prefill_chunks=result.n_prefill_chunks,
             )
         )
         return result
@@ -267,7 +289,7 @@ class BatchInferenceServer:
         """Operator-style text report."""
         lines = [
             "job            reqs  distinct   prompt_tok  hit%    out_tok   seconds"
-            "  kv_blocks  frag_tok  sched            p95_ttft"
+            "  kv_blocks  frag_tok  sched            p95_ttft  npre"
         ]
         for j in self.stats.jobs:
             lines.append(
@@ -275,7 +297,7 @@ class BatchInferenceServer:
                 f"{j.prompt_tokens:>10}  "
                 f"{100 * j.hit_rate:5.1f}%  {j.output_tokens:>7}  {j.seconds:8.2f}"
                 f"  {j.peak_kv_blocks:>9}  {j.fragmentation_tokens:>8}"
-                f"  {j.scheduler:<15} {j.p95_ttft_s:8.3f}s"
+                f"  {j.scheduler:<15} {j.p95_ttft_s:8.3f}s  {j.n_preemptions:>4}"
             )
         lines.append(
             f"lifetime hit rate {100 * self.stats.lifetime_hit_rate:.1f}% over "

@@ -49,6 +49,11 @@ class TraceRequest:
     ``output_text`` is the simulated model's answer (its token count sets
     the decode length); when empty, ``output_len`` gives the decode length
     directly (``None`` falls back to the client default).
+
+    ``deadline_s`` is the request's SLO deadline relative to its arrival
+    (None = no per-request deadline; the ``deadline`` scheduler falls back
+    to its policy-wide default and goodput accounting to the run-level
+    deadline).
     """
 
     arrival_s: float
@@ -57,6 +62,7 @@ class TraceRequest:
     job: str = ""
     output_text: str = ""
     output_len: Optional[int] = None
+    deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if not self.arrival_s >= 0.0 or self.arrival_s == float("inf"):
@@ -71,6 +77,8 @@ class TraceRequest:
             # Validated here (not deep in the engine) so a hand-edited
             # trace JSON fails with a clean ServingError at load time.
             raise ServingError("output_len must be an integer >= 0")
+        if self.deadline_s is not None and not self.deadline_s > 0.0:
+            raise ServingError("deadline_s must be positive when set")
 
     def to_dict(self) -> Dict:
         d: Dict = {
@@ -84,6 +92,8 @@ class TraceRequest:
             d["output_text"] = self.output_text
         if self.output_len is not None:
             d["output_len"] = self.output_len
+        if self.deadline_s is not None:
+            d["deadline_s"] = self.deadline_s
         return d
 
     @staticmethod
@@ -95,6 +105,7 @@ class TraceRequest:
             job=d.get("job", ""),
             output_text=d.get("output_text", ""),
             output_len=d.get("output_len"),
+            deadline_s=d.get("deadline_s"),
         )
 
 
@@ -145,6 +156,7 @@ class WorkloadTrace:
                     job=r.job,
                     output_text=r.output_text,
                     output_len=r.output_len,
+                    deadline_s=r.deadline_s,
                 )
                 for r in self.requests
             ],

@@ -181,6 +181,54 @@ class TestTraceJobs:
         expected = "prefix-affinity" if serving_online_enabled() else "fcfs"
         assert server.job("affine").scheduler == expected
 
+    def test_preemption_stats_recorded_and_reported(self):
+        from repro.llm.engine import EngineConfig
+        from repro.llm.scheduler import (
+            serving_online_enabled,
+            serving_preempt_enabled,
+        )
+        from repro.llm.workload import TraceRequest, WorkloadTrace
+
+        # Two decode slots, one long-decode hog in front of urgent short
+        # requests: the EDF policy must evict it, so n_preemptions > 0.
+        server = BatchInferenceServer(
+            engine_config=EngineConfig(
+                scheduler="deadline",
+                preemption="recompute",
+                scheduler_deadline_s=2.0,
+                max_batch_size=2,
+            )
+        )
+        reqs = [
+            TraceRequest(0.0, "long running batch report", output_len=120,
+                         deadline_s=60.0),
+            TraceRequest(0.0, "second batch report body", output_len=120,
+                         deadline_s=60.0),
+        ] + [
+            TraceRequest(0.3 + 0.01 * i, f"urgent ask {i}", output_len=2,
+                         deadline_s=1.0)
+            for i in range(6)
+        ]
+        server.submit_trace("pre", WorkloadTrace(reqs, name="pre"))
+        job = server.job("pre")
+        if serving_online_enabled() and serving_preempt_enabled():
+            assert job.preemption == "recompute"
+            assert job.n_preemptions > 0
+            assert job.preempted_tokens_recomputed > 0
+            assert job.preempted_tokens_swapped == 0
+        else:
+            assert job.n_preemptions == 0
+        report = server.report()
+        assert "npre" in report
+
+    def test_jobs_without_preemption_report_zero(self):
+        server = BatchInferenceServer()
+        server.submit_trace("calm", self.trace(tag="c"))
+        job = server.job("calm")
+        assert job.preemption == "off"
+        assert job.n_preemptions == 0
+        assert job.n_prefill_chunks == 0
+
 
 class TestClusterJobs:
     @pytest.fixture(autouse=True)

@@ -31,6 +31,24 @@ class TestTraceRequest:
         r = TraceRequest(1.5, "hello", tenant="a", job="j", output_len=4)
         assert TraceRequest.from_dict(r.to_dict()) == r
 
+    def test_deadline_validation(self):
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "p", deadline_s=0.0)
+        with pytest.raises(ServingError):
+            TraceRequest(0.0, "p", deadline_s=-2.0)
+        assert TraceRequest(0.0, "p", deadline_s=1.5).deadline_s == 1.5
+
+    def test_deadline_dict_round_trip(self):
+        r = TraceRequest(1.0, "p", deadline_s=2.5)
+        d = r.to_dict()
+        assert d["deadline_s"] == 2.5
+        assert TraceRequest.from_dict(d) == r
+        # Absent deadline stays absent: the key is omitted entirely so
+        # old traces and new traces without SLOs serialize identically.
+        bare = TraceRequest(1.0, "p")
+        assert "deadline_s" not in bare.to_dict()
+        assert TraceRequest.from_dict(bare.to_dict()).deadline_s is None
+
 
 class TestWorkloadTrace:
     def make(self):
@@ -77,6 +95,27 @@ class TestWorkloadTrace:
         assert all(r.arrival_s == 0.0 for r in t0.requests)
         # Arrival order (not original list order) is preserved.
         assert [r.prompt for r in t0.requests] == ["early", "mid", "late"]
+
+    def test_at_time_zero_preserves_deadlines(self):
+        tr = WorkloadTrace(
+            [
+                TraceRequest(1.0, "a", deadline_s=2.0),
+                TraceRequest(0.0, "b"),
+            ]
+        )
+        t0 = tr.at_time_zero()
+        assert [r.deadline_s for r in t0.requests] == [None, 2.0]
+
+    def test_json_round_trip_with_deadlines(self):
+        tr = WorkloadTrace(
+            [
+                TraceRequest(0.0, "urgent", deadline_s=0.5),
+                TraceRequest(0.1, "lax"),
+            ],
+            name="dl",
+        )
+        back = WorkloadTrace.from_json(tr.to_json())
+        assert [r.deadline_s for r in back.requests] == [0.5, None]
 
     def test_offered_rate(self):
         tr = WorkloadTrace([TraceRequest(i * 0.5, "p") for i in range(5)])
