@@ -169,10 +169,62 @@ def compare(
     return problems
 
 
+def _area_of(path: str) -> str:
+    """Area slug from a ``BENCH_<area>.json`` filename (the whole basename
+    when the file does not follow the convention)."""
+    name = os.path.basename(path)
+    if name.startswith("BENCH_") and name.endswith(".json"):
+        return name[len("BENCH_") : -len(".json")]
+    return name
+
+
+def show(paths: List[str]) -> Tuple[List[str], List[str]]:
+    """Render the per-area perf trajectory as fixed-width table lines.
+
+    Returns ``(lines, errors)``: one table section per readable file
+    (benchmark, value, criterion, commit — plus OK/FAIL against the
+    record's own criterion), and one error string per unreadable path.
+    """
+    lines: List[str] = []
+    errors: List[str] = []
+    for path in paths:
+        try:
+            records = load(path)
+        except FileNotFoundError:
+            errors.append(f"missing file {path}")
+            continue
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            errors.append(f"unreadable file {path} ({exc})")
+            continue
+        if lines:
+            lines.append("")
+        lines.append(f"area: {_area_of(path)}  ({path})")
+        width = max(
+            [len("benchmark")] + [len(name) for name in records]
+        )
+        lines.append(
+            f"{'benchmark':<{width}}  {'value':>10}  {'criterion':<12}"
+            f"  {'commit':<8}  status"
+        )
+        for name in sorted(records):
+            rec = records[name]
+            value = float(rec["value"])
+            crit = rec.get("criterion")
+            status = (
+                ("OK" if satisfies(value, crit) else "FAIL") if crit else "-"
+            )
+            lines.append(
+                f"{name:<{width}}  {value:>10.4f}  {str(crit or '-'):<12}"
+                f"  {str(rec.get('commit', '-')):<8}  {status}"
+            )
+    return lines, errors
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.perf",
-        description="Compare fresh BENCH_*.json records against a baseline.",
+        description="Compare fresh BENCH_*.json records against a baseline, "
+        "or render the committed trajectory.",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
     cmp_p = sub.add_parser("compare", help="diff fresh records vs baseline")
@@ -184,7 +236,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_TOLERANCE,
         help=f"relative regression band (default {DEFAULT_TOLERANCE})",
     )
+    show_p = sub.add_parser(
+        "show", help="render BENCH_*.json records as per-area tables"
+    )
+    show_p.add_argument(
+        "paths",
+        nargs="*",
+        help="BENCH_*.json files (default: benchmarks/baselines/BENCH_*.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.cmd == "show":
+        paths = args.paths
+        if not paths:
+            import glob as _glob
+
+            paths = sorted(_glob.glob("benchmarks/baselines/BENCH_*.json"))
+        if not paths:
+            print(
+                "show failed: no BENCH_*.json files found "
+                "(pass paths or run from the repo root)",
+                file=sys.stderr,
+            )
+            return 2
+        lines, errors = show(paths)
+        for line in lines:
+            print(line)
+        if errors:
+            print(f"show failed: {'; '.join(errors)}", file=sys.stderr)
+            return 2
+        return 0
 
     # A missing or unreadable record file is an operator error (wrong
     # path, bench step skipped, baseline never committed) — name every

@@ -229,6 +229,7 @@ def run_serve_trace(args) -> str:
         )
         last = res
         ec_stats = client.encode_cache_stats()
+        rx_stats = client.radix_stats()
     if last is not None:
         ec_lookups = ec_stats["hits"] + ec_stats["misses"]
         ec_rate = ec_stats["hits"] / ec_lookups if ec_lookups else 0.0
@@ -237,6 +238,13 @@ def run_serve_trace(args) -> str:
             f"{ec_stats['misses']} misses ({100 * ec_rate:.1f}%), "
             f"{ec_stats['entries']} entries, "
             f"{ec_stats['evictions']} evictions"
+        )
+        lines.append(
+            f"radix cache: backend={rx_stats['backend']}, "
+            f"{rx_stats['nodes']} nodes, "
+            f"{rx_stats['token_store_bytes']} store bytes, "
+            f"{rx_stats['evicted_nodes']} nodes / "
+            f"{rx_stats['evicted_tokens']} tok evicted"
         )
         lines.append("")
         lines.append(last.slo.render(f"per-tenant SLO ({last.scheduler})"))

@@ -8,10 +8,13 @@ discrete-event simulator (see DESIGN.md "Substitutions"):
     Deterministic incremental-vocabulary tokenizer (prefix-stable).
 ``radix``
     RadixAttention-style prefix cache over token sequences with LRU
-    eviction and refcounted pin-locking for running requests. Eviction is
-    amortized through a lazy min-heap of evictable leaves; the original
-    full-tree-scan implementation stays selectable as the reference oracle
-    (``REPRO_SERVING_FASTPATH=0``).
+    eviction and refcounted pin-locking for running requests. The default
+    backend stores node records in flat slot-indexed arrays (contiguous
+    numpy token store, vectorized prefix compares, intrusive-list LRU);
+    the original
+    node-object tree stays selectable as the equivalence oracle
+    (``REPRO_SERVING_RADIX=0``), with its own heap/scan eviction engines
+    (scan = the original reference, ``REPRO_SERVING_FASTPATH=0``).
 ``blocks``
     Paged KV block manager with ref-counted blocks (vLLM-style). The
     engine admits on it by default: radix nodes own the blocks backing
@@ -100,7 +103,12 @@ from repro.llm.pricing import (
     estimated_savings,
     openai_gpt4o_mini,
 )
-from repro.llm.radix import RadixPrefixCache, pack_tokens, serving_fastpath_enabled
+from repro.llm.radix import (
+    RadixPrefixCache,
+    pack_tokens,
+    serving_fastpath_enabled,
+    serving_radix_enabled,
+)
 from repro.llm.request import Request, RequestMetrics
 from repro.llm.tokenizer import HashTokenizer
 
@@ -112,6 +120,7 @@ __all__ = [
     "RadixPrefixCache",
     "pack_tokens",
     "serving_fastpath_enabled",
+    "serving_radix_enabled",
     "Request",
     "RequestMetrics",
     "GPUSpec",

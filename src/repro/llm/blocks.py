@@ -91,6 +91,11 @@ class BlockAllocation:
     #: are forked into every admitted request's path bundle, so the
     #: conversion pays off across admissions. Invalidated by :meth:`grow`.
     ids_arr: object = field(default=None, repr=False)
+    #: Flat radix backend only: the node *slot* this allocation is bound to
+    #: (-1 when unowned — forks, bundles, and node-backend allocations).
+    #: Rebound on every radix edge split; the flat backend's invariant
+    #: checker verifies slot and allocation agree.
+    owner: int = field(default=-1, repr=False)
 
 
 class BlockManager:

@@ -162,6 +162,10 @@ class SimulatedLLMClient:
         """Hit/miss/eviction telemetry of the shared encode cache."""
         return self._encode_cache.stats()
 
+    def radix_stats(self) -> Dict[str, object]:
+        """Backend/size/eviction telemetry of the engine's radix cache."""
+        return self.engine.cache.stats()
+
     def generate(
         self,
         prompts: Sequence[str],

@@ -28,14 +28,15 @@ Routing policies (:data:`ROUTING_POLICIES`):
 ``"prefix-aware"``
     The paper's prefix-sharing insight lifted from admission ordering
     (PR 5's prefix-affinity scheduler) to *placement*: the router keeps a
-    cheap per-replica **prefix sketch** — rolling-hash digests of each
-    routed prompt at ``digest_block``-token boundaries, bounded LRU like
-    the cache it approximates — and scores an incoming prompt by its
-    longest leading run of digests present in each replica's sketch. The
-    request goes where its prefix is already hot (ties: least queued
-    tokens, then lowest index), so one tenant's shared header lands on one
-    replica instead of thrashing every cache in the fleet. Sketches are
-    router-side only: no replica radix tree is touched at routing time.
+    per-replica **shadow radix tree** — a bounded
+    :class:`~repro.llm.radix.RadixPrefixCache` fed every routed prompt,
+    token-budgeted like the cache it mirrors — and scores an incoming
+    prompt by its true longest-cached-prefix match against each replica's
+    shadow. The request goes where its prefix is already hot (ties: least
+    queued tokens, then lowest index), so one tenant's shared header lands
+    on one replica instead of thrashing every cache in the fleet. Shadows
+    are router-side only: no replica radix tree is touched at routing
+    time, keeping the assignment a pure function of the trace.
 
 ``"tenant-sharded"``
     Consistent hashing of the tenant tag over a ``vnodes``-point hash ring
@@ -95,6 +96,7 @@ from repro.llm.encode_cache import encode_cache_for
 from repro.llm.engine import EngineConfig, EngineResult, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
+from repro.llm.radix import RadixPrefixCache
 from repro.llm.request import Request, RequestMetrics
 from repro.llm.scheduler import SLOReport, compute_slo
 from repro.llm.tokenizer import HashTokenizer
@@ -128,7 +130,8 @@ class ClusterConfig:
 
     ``engine`` is the per-replica :class:`EngineConfig` (each replica gets
     its own engine built from it); ``digest_block``/``sketch_entries``
-    shape the prefix-aware router's rolling-hash sketches;
+    bound the prefix-aware router's per-replica shadow radix trees
+    (budget = ``digest_block * sketch_entries`` tokens);
     ``vnodes``/``pins`` shape the tenant-sharded hash ring;
     ``max_workers`` caps the spawn pool (default: one worker per replica,
     bounded by available CPUs).
@@ -296,23 +299,27 @@ class LeastQueueRouter(RoutingPolicy):
 
 
 class PrefixAwareRouter(RoutingPolicy):
-    """Longest leading digest-run match against per-replica prefix
-    sketches; cold/tied prompts fall back to least queued tokens.
+    """Longest true radix-prefix match against per-replica shadow trees;
+    cold/tied prompts fall back to least queued tokens.
 
-    A sketch is a bounded LRU set of rolling-hash digests taken every
-    ``digest_block`` tokens along each routed prompt — an O(len) pass at
-    routing time and O(len / block) sketch entries per prompt, never a
-    replica radix-tree probe. Bounding the sketch models the replica
-    cache's own eviction: digests a replica has not seen recently age out,
-    so the router stops chasing prefixes that are no longer resident.
+    The router keeps a bounded shadow :class:`RadixPrefixCache` per
+    replica — the same structure the replica's engine uses — and scores
+    each candidate with a side-effect-free ``match_len`` probe (the flat
+    array-backed backend when available, so the probe is one vectorized
+    walk). Committing a route inserts the prompt into that replica's
+    shadow tree and evicts it back to a token budget of ``digest_block *
+    sketch_entries`` tokens (the legacy sketch knobs, reinterpreted as
+    entries x tokens-per-entry), modelling the replica cache's own
+    eviction: prefixes a replica has not served recently age out, so the
+    router stops chasing prefixes that are no longer resident. Earlier
+    revisions approximated this with rolling-hash digest sketches scored
+    at ``digest_block`` granularity; true match lengths are exact per
+    token and track edge splits the sketch could not see. Shadow state
+    lives entirely on the router side, so routing stays a pure function
+    of the trace — identical across the inline and spawn backends.
     """
 
     name = "prefix-aware"
-
-    #: Polynomial rolling-hash multiplier (same prime CPython's string
-    #: hash historically used); masked to 64 bits.
-    _MULT = 1000003
-    _MASK = (1 << 64) - 1
 
     def __init__(
         self,
@@ -328,56 +335,31 @@ class PrefixAwareRouter(RoutingPolicy):
             raise ServingError("sketch_entries must be >= 1")
         self.digest_block = digest_block
         self.sketch_entries = sketch_entries
-        from collections import OrderedDict
-
-        self._sketches: List["OrderedDict[int, None]"] = [
-            OrderedDict() for _ in range(n_replicas)
+        #: Per-replica shadow-tree token budget.
+        self.shadow_tokens = digest_block * sketch_entries
+        self._shadows: List[RadixPrefixCache] = [
+            RadixPrefixCache() for _ in range(n_replicas)
         ]
 
-    def _digests(self, tokens: Sequence[int]) -> List[int]:
-        """Rolling-hash snapshots of the prompt's prefixes at block
-        boundaries: digest ``i`` identifies ``tokens[: (i+1) * block]``."""
-        h = 0
-        out: List[int] = []
-        block = self.digest_block
-        for i, tok in enumerate(tokens):
-            h = (h * self._MULT + tok + 1) & self._MASK
-            if (i + 1) % block == 0:
-                out.append(h)
-        return out
-
-    def _score(self, digests: List[int], replica: int) -> int:
-        """Leading run of the prompt's digests present in the sketch —
-        the sketch-level analogue of a radix longest-prefix match."""
-        sketch = self._sketches[replica]
-        run = 0
-        for d in digests:
-            if d not in sketch:
-                break
-            run += 1
-        return run
-
     def _pick(self, req: Request) -> int:
-        digests = self._digests(req.prompt_tokens)
         t = self.tracker
         best = 0
         best_key: Optional[Tuple[int, int, int]] = None
         for r in range(self.n):
-            key = (-self._score(digests, r), t.queued_tokens(r), r)
+            hit = self._shadows[r].match_len(req.prompt_tokens, req.prompt_bytes)
+            key = (-hit, t.queued_tokens(r), r)
             if best_key is None or key < best_key:
                 best, best_key = r, key
-        self._last_digests = digests
         return best
 
     def _committed(self, req: Request, replica: int) -> None:
-        sketch = self._sketches[replica]
-        for d in self._last_digests:
-            if d in sketch:
-                sketch.move_to_end(d)
-            else:
-                sketch[d] = None
-        while len(sketch) > self.sketch_entries:
-            sketch.popitem(last=False)  # the sketch's own LRU "eviction"
+        shadow = self._shadows[replica]
+        shadow.insert(req.prompt_tokens, req.prompt_bytes)
+        over = shadow.total_tokens - self.shadow_tokens
+        if over > 0:
+            # The just-routed prompt is the tree's most recent path, so
+            # LRU eviction trims the stalest prefixes first.
+            shadow.evict(over)
 
 
 class TenantShardedRouter(RoutingPolicy):
@@ -493,6 +475,9 @@ class ReplicaStats:
     cache_misses: int
     cache_evicted_tokens: int
     cache_total_tokens: int
+    #: Full :meth:`RadixPrefixCache.stats` snapshot (backend, node count,
+    #: token-store bytes, eviction totals) for operator output.
+    cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -596,6 +581,15 @@ class ClusterResult:
                 f"{self.preempted_tokens_swapped} tok swapped), "
                 f"{self.n_prefill_chunks} prefill chunks"
             )
+        rstats = [s.cache_stats for s in self.replicas if s.cache_stats]
+        if rstats:
+            lines.append(
+                f"radix cache: backend={rstats[0]['backend']}, "
+                f"{sum(s['nodes'] for s in rstats)} nodes, "
+                f"{sum(s['token_store_bytes'] for s in rstats)} store bytes, "
+                f"{sum(s['evicted_nodes'] for s in rstats)} nodes / "
+                f"{sum(s['evicted_tokens'] for s in rstats)} tok evicted"
+            )
         return "\n".join(lines)
 
 
@@ -630,6 +624,7 @@ def _replay_replica(
         "misses": cache.misses,
         "evicted_tokens": cache.evicted_tokens,
         "total_tokens": cache.total_tokens,
+        "stats": cache.stats(),
     }
     return result, counters
 
@@ -932,6 +927,7 @@ class ClusterEngine:
                     cache_misses=counters["misses"],
                     cache_evicted_tokens=counters["evicted_tokens"],
                     cache_total_tokens=counters["total_tokens"],
+                    cache_stats=counters.get("stats"),
                 )
             )
         merged.sort(key=lambda m: m.request_id)

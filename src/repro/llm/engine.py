@@ -518,10 +518,13 @@ class SimulatedLLMEngine:
             if self.kv_accounting == "paged"
             else None
         )
-        # The oracle mode keeps the scan-based cache so REPRO_SERVING_FASTPATH=0
-        # reproduces the original implementation end to end.
+        # The oracle mode keeps the scan-based node cache so
+        # REPRO_SERVING_FASTPATH=0 reproduces the original implementation
+        # end to end; other modes resolve the backend themselves (flat
+        # array-backed when numpy is present and REPRO_SERVING_RADIX=1,
+        # node tree + lazy heap otherwise).
         self.cache = RadixPrefixCache(
-            eviction="scan" if self.mode == "stepwise" else "heap",
+            eviction="scan" if self.mode == "stepwise" else "auto",
             block_manager=self.blocks,
         )
         self._use_pins = self.mode != "stepwise"

@@ -12,9 +12,35 @@ skipping its prefill. Mirrors the structure SGLang/vLLM use:
   refcount (``lock_ref``) up to the root and are never evicted, exactly like
   vLLM's block refcounts / SGLang's ``lock_ref``.
 
-Two eviction engines share the tree:
+Two storage backends implement the same contract:
 
-``eviction="heap"`` (default)
+``backend="flat"`` (default when numpy is present)
+    A flat, array-backed radix tree: node records live in slot-indexed
+    parallel arrays (edge spans into one contiguous numpy token store;
+    refcounts, last-touch ticks and links in plain Python lists — see the
+    class docstring for why), child dispatch is a single ``(node,
+    first_token) -> child`` hash map, longest-common-prefix compares are
+    vectorized numpy slices instead of per-token loops, and LRU eviction
+    walks an intrusive
+    doubly-linked list kept strictly sorted by ``(last_access, node_id)``
+    — O(1) touch and pop, no heap churn. Implemented by
+    :class:`_FlatRadixCache`; selected automatically by
+    ``RadixPrefixCache()`` (see :func:`serving_radix_enabled`).
+
+``backend="node"``
+    Today's per-node Python-object tree — the equivalence oracle.
+    ``REPRO_SERVING_RADIX=0`` keeps it everywhere, mirroring
+    ``REPRO_SERVING_VECTOR`` one layer down; the randomized suites in
+    ``tests/llm/test_radix_flat.py`` / ``test_radix_equivalence.py``
+    enforce bit-identical match lengths, eviction victims and order,
+    counters, block allocations, and engine clocks across backends.
+
+Requesting an explicit eviction engine (below) also selects the node
+backend — the flat backend owns its own eviction structure.
+
+Two eviction engines share the node-object tree:
+
+``eviction="heap"`` (node-backend default)
     Amortized O(log n) eviction: evictable leaves live in a lazy min-heap
     keyed by LRU timestamp. Stale entries (re-touched, pinned, no longer a
     leaf, already evicted) are skipped at pop time. Edge comparison in
@@ -48,6 +74,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import ServingError
 from repro.llm.blocks import BlockAllocation, BlockManager
 
+try:  # numpy backs the flat array-backed radix backend; its absence
+    import numpy as _np  # only disables it (the node-tree oracle remains).
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
 #: Packed token width used for offset-based edge comparison ("q" = int64,
 #: wide enough for any realistic vocabulary id).
 _PACK_CODE = "q"
@@ -70,6 +101,41 @@ def serving_fastpath_enabled() -> bool:
     ``REPRO_CORE_FASTPATH`` for the solver layer."""
     flag = os.environ.get("REPRO_SERVING_FASTPATH", "1").strip().lower()
     return flag not in ("0", "false", "off", "no")
+
+
+def serving_radix_enabled() -> bool:
+    """Whether the flat array-backed radix backend is enabled (the default
+    when numpy is importable). ``REPRO_SERVING_RADIX=0`` keeps the
+    node-object tree — the equivalence oracle — everywhere, mirroring
+    ``REPRO_SERVING_VECTOR`` one layer down."""
+    if _np is None:
+        return False
+    flag = os.environ.get("REPRO_SERVING_RADIX", "1").strip().lower()
+    return flag not in ("0", "false", "off", "no")
+
+
+def _resolve_backend(backend: str, eviction: str) -> str:
+    """Map the ``backend``/``eviction`` constructor arguments to a concrete
+    backend name. Explicitly naming an eviction engine (``"heap"`` /
+    ``"scan"``) selects the node backend — those engines live on the
+    node-object tree, and tests/benches that construct them inspect its
+    internals. ``backend="auto"`` with ``eviction="auto"`` takes the flat
+    backend whenever numpy and both fast-path flags allow it."""
+    if backend not in ("auto", "flat", "node"):
+        raise ValueError(f"unknown radix backend {backend!r}")
+    if backend == "flat":
+        if _np is None:
+            raise ServingError("backend='flat' requires numpy")
+        return "flat"
+    if backend == "node":
+        return "node"
+    if (
+        eviction == "auto"
+        and serving_radix_enabled()
+        and serving_fastpath_enabled()
+    ):
+        return "flat"
+    return "node"
 
 
 class _Node:
@@ -131,11 +197,25 @@ def pack_tokens(tokens: Sequence[int]) -> Optional[bytes]:
 
 
 class RadixPrefixCache:
-    """Prefix cache with LRU eviction and pinned (refcounted) paths."""
+    """Prefix cache with LRU eviction and pinned (refcounted) paths.
+
+    Constructing ``RadixPrefixCache(...)`` dispatches on ``backend`` (see
+    :func:`_resolve_backend`): the default returns a :class:`_FlatRadixCache`
+    when numpy is present and ``REPRO_SERVING_RADIX`` allows it, else this
+    node-object reference implementation. Both expose the same API and make
+    bit-identical decisions."""
+
+    def __new__(cls, **kwargs):
+        if cls is RadixPrefixCache and _resolve_backend(
+            kwargs.get("backend", "auto"), kwargs.get("eviction", "auto")
+        ) == "flat":
+            return super().__new__(_FlatRadixCache)
+        return super().__new__(cls)
 
     def __init__(
         self,
         *,
+        backend: str = "auto",
         eviction: str = "auto",
         block_manager: Optional[BlockManager] = None,
     ):
@@ -143,6 +223,7 @@ class RadixPrefixCache:
             eviction = "heap" if serving_fastpath_enabled() else "scan"
         if eviction not in ("heap", "scan"):
             raise ValueError(f"unknown eviction mode {eviction!r}")
+        self.backend = "node"
         self.eviction = eviction
         #: Optional paged-KV authority: when set, every node owns a block
         #: allocation for its edge tokens — created on insert, divided on
@@ -156,6 +237,11 @@ class RadixPrefixCache:
         self.hits = 0
         self.misses = 0
         self.evicted_tokens = 0
+        self.evicted_nodes = 0
+        #: Live non-root nodes (maintained, not recounted — surfaced by
+        #: :meth:`stats` and compared across backends by the equivalence
+        #: suites).
+        self.n_nodes = 0
         #: Lazy min-heap of (last_access, node_id, node) eviction candidates
         #: (heap mode only). Entries are pushed when a node *becomes* an
         #: evictable leaf (creation, unpin, child evicted) — NOT on every
@@ -267,6 +353,49 @@ class RadixPrefixCache:
             break
         return pos
 
+    def match_many(self, requests: Sequence[object]) -> List[int]:
+        """Batched, side-effect-free prefix probe: the longest cached
+        prefix length of every request's prompt, in request order.
+
+        ``requests`` is any sequence of objects with ``prompt_tokens`` /
+        ``prompt_bytes`` attributes (``Request`` duck type). This is the
+        bulk form of :meth:`match_len` the prefix-affinity scheduler and
+        the prefix-aware cluster router consume: one call answers every
+        waiting candidate, and probes of the *same* prompt tuple object
+        (the encode cache interns prompts, so identical prompts share one
+        tuple) are answered once and reused."""
+        out: List[int] = []
+        memo: Dict[int, int] = {}
+        for req in requests:
+            toks = req.prompt_tokens
+            hit = memo.get(id(toks))
+            if hit is None:
+                hit = self.match_len(toks, req.prompt_bytes)
+                memo[id(toks)] = hit
+            out.append(hit)
+        return out
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        """Operator telemetry snapshot. The counter fields (``nodes``,
+        ``total_tokens``, ``hits``, ``misses``, ``evicted_tokens``,
+        ``evicted_nodes``) are backend-independent — the equivalence
+        suites compare them with ``==`` across backends;
+        ``token_store_bytes`` is the backend's own token-storage footprint
+        (packed-edge payload here, the contiguous store buffer in the flat
+        backend)."""
+        return {
+            "backend": self.backend,
+            "eviction": self.eviction,
+            "nodes": self.n_nodes,
+            "total_tokens": self.total_tokens,
+            "token_store_bytes": self.total_tokens * _PACK_BYTES,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evicted_tokens": self.evicted_tokens,
+            "evicted_nodes": self.evicted_nodes,
+        }
+
     # -------------------------------------------------------------- insert
     def insert(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
         """Cache ``tokens``; returns the number of *newly* cached tokens.
@@ -299,6 +428,7 @@ class RadixPrefixCache:
                     self._push_candidate(leaf)
                 added = len(leaf.edge)
                 self.total_tokens += added
+                self.n_nodes += 1
                 self._last_end = (tokens, leaf)
                 return added
             edge = child.edge
@@ -336,6 +466,7 @@ class RadixPrefixCache:
             child.parent = mid
             mid.children[tail[0]] = child
             child.last_access = now
+            self.n_nodes += 1
             node = mid
             pos += k
         if node is not self.root:
@@ -599,6 +730,8 @@ class RadixPrefixCache:
         k = len(victim.edge)
         self.total_tokens -= k
         self.evicted_tokens += k
+        self.evicted_nodes += 1
+        self.n_nodes -= 1
         victim.dead = True
         parent = victim.parent
         assert parent is not None
@@ -726,6 +859,11 @@ class RadixPrefixCache:
             raise ServingError(
                 f"token accounting drift: counted {count}, recorded {self.total_tokens}"
             )
+        if len(nodes) - 1 != self.n_nodes:
+            raise ServingError(
+                f"node accounting drift: counted {len(nodes) - 1}, "
+                f"recorded {self.n_nodes}"
+            )
         if self._fast:
             entry_tally: Dict[int, int] = {}
             for stamp, nid, node in self._heap:
@@ -758,5 +896,814 @@ class RadixPrefixCache:
                     raise ServingError(
                         f"evictable leaf {node.node_id} missing from eviction heap"
                     )
+        if self._bm is not None:
+            self._bm.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# Flat array-backed backend
+# ---------------------------------------------------------------------------
+#: Sentinel link value for "slot is not in the LRU list" (the list's real
+#: links are slot indices >= 0 or -1 for the ends).
+_NOT_IN = -2
+
+#: Edge compares at or below this length use a scalar loop against the
+#: probe tuple — numpy slice/compare setup costs more than it saves on
+#: tiny edges. Longer edges (shared headers, whole-prompt leaves) take one
+#: vectorized compare + argmax.
+_SMALL_EDGE = 8
+
+#: Edge compares at or below this length try a C-level ``startswith``
+#: full-match pre-check unconditionally — the ``tobytes`` copy is cheap
+#: at this size and a warm walk is mostly full-edge matches. Longer edges
+#: gate the pre-check on a last-token equality probe first: a divergent
+#: edge almost always differs at its last position too, so the full-width
+#: copy is only paid when a full match is likely.
+_PRECHECK_EDGE = 256
+
+#: Bound on the probe-array memo (id(tokens) -> (array, bytes) views). The
+#: memo holds the tuple alongside the views so the id stays valid; clearing
+#: it wholesale on overflow keeps the common case (a client replaying
+#: interned prompt tuples) hot without unbounded growth.
+_PROBE_MEMO_CAP = 4096
+
+
+class _FlatRadixCache(RadixPrefixCache):
+    """Flat array-backed radix cache: same contract as the node-tree
+    reference, different machine.
+
+    * **Node records** live in flat parallel arrays indexed by slot:
+      edge span (``_estart``/``_elen`` into one contiguous numpy token
+      store), parent slot, LRU stamp, node id, lock/pin refcounts, child
+      count, and intrusive LRU links. The scalar record arrays are plain
+      Python lists (amortized-doubling, machine ints) — CPython reads a
+      list element ~5x faster than a numpy scalar, and the tree walk is
+      all scalar reads; the *token payload* is the numpy part, where
+      vectorized compares actually pay. Evicted slots go on a free list
+      and are reused; node *ids* are never reused, so ``(slot, id)`` pin
+      tickets detect stale unpins.
+    * **Child dispatch** is one ``(parent_slot, first_token) -> child_slot``
+      dict for the whole tree — no per-node dicts.
+    * **LCP compares** are vectorized: the probe is a numpy view (zero-copy
+      ``frombuffer`` of the packed bytes when supplied), an edge compare is
+      one slice equality + ``argmax`` instead of a per-token Python loop.
+    * **Edge splits are O(1)**: head and tail point at disjoint sub-spans
+      of the same store region — no token is copied. Eviction strands the
+      victim's span; the store compacts (copying exactly the live tokens)
+      when stranded waste exceeds the live mass.
+    * **LRU eviction** walks an intrusive doubly-linked list kept strictly
+      sorted by ``(last_access, node_id)``: every touch carries a fresh
+      global-maximum stamp, so touched nodes re-append at the tail (O(1))
+      and the head scan yields victims in exactly the lazy heap's order.
+      Because a parent is stamped whenever any descendant is touched,
+      ``stamp(parent) >= stamp(child)`` always holds; the single case where
+      a victim's parent becomes an evictable leaf that sorts *before* the
+      scan cursor (an insert-split tie where the head kept the smaller id)
+      is handled by jumping the cursor back to the parent.
+
+    Equivalence with the node backend — match lengths, eviction victims
+    and order, counters, block allocations — is enforced by the randomized
+    suites in ``tests/llm/test_radix_flat.py`` and
+    ``tests/llm/test_radix_equivalence.py``.
+
+    Token ids must fit int64 — the same bound :func:`pack_tokens` assumes.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        eviction: str = "auto",
+        block_manager: Optional[BlockManager] = None,
+    ):
+        if _np is None:  # pragma: no cover - guarded by _resolve_backend
+            raise ServingError("backend='flat' requires numpy")
+        if eviction != "auto":
+            raise ServingError(
+                "the flat backend owns its eviction engine; an explicit "
+                "eviction= selects the node backend"
+            )
+        self.backend = "flat"
+        self.eviction = "flat-lru"
+        self._bm = block_manager
+        self.total_tokens = 0
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evicted_tokens = 0
+        self.evicted_nodes = 0
+        self.n_nodes = 0
+        # Slot 0 is the root (empty edge, id 0). The record arrays grow by
+        # append in _new_slot — list appends are already amortized-doubling.
+        self._estart: List[int] = [0]
+        self._elen: List[int] = [0]
+        self._parent: List[int] = [-1]
+        self._stamp: List[int] = [0]
+        self._nid: List[int] = [0]
+        self._lock: List[int] = [0]
+        self._pins: List[int] = [0]
+        self._nchild: List[int] = [0]
+        self._lru_prev: List[int] = [_NOT_IN]
+        self._lru_next: List[int] = [_NOT_IN]
+        self._dead: List[bool] = [False]
+        #: Per-slot block allocations (paged accounting only).
+        self._allocs: List[Optional[BlockAllocation]] = [None]
+        self._children: Dict[Tuple[int, int], int] = {}
+        self._free: List[int] = []
+        self._n_slots = 1
+        self._next_id = 1
+        self._store = _np.zeros(256, dtype=_np.int64)
+        self._store_n = 0
+        self._lru_head = -1
+        self._lru_tail = -1
+        #: One-slot identity memo, as in the node backend: insert -> pin /
+        #: fork of the same tuple object skips the path walk.
+        self._last_end: Optional[Tuple[Tuple[int, ...], int]] = None
+        self._probe_memo: Dict[int, Tuple[Tuple[int, ...], object]] = {}
+
+    # ------------------------------------------------------------- storage
+    def _new_slot(self, parent: int, estart: int, elen: int, now: int) -> int:
+        if self._free:
+            s = self._free.pop()
+        else:
+            s = self._n_slots
+            self._n_slots += 1
+            self._estart.append(0)
+            self._elen.append(0)
+            self._parent.append(-1)
+            self._stamp.append(0)
+            self._nid.append(0)
+            self._lock.append(0)
+            self._pins.append(0)
+            self._nchild.append(0)
+            self._lru_prev.append(_NOT_IN)
+            self._lru_next.append(_NOT_IN)
+            self._dead.append(True)
+            self._allocs.append(None)
+        self._estart[s] = estart
+        self._elen[s] = elen
+        self._parent[s] = parent
+        self._stamp[s] = now
+        self._nid[s] = self._next_id
+        self._next_id += 1
+        self._lock[s] = 0
+        self._pins[s] = 0
+        self._nchild[s] = 0
+        self._lru_prev[s] = _NOT_IN
+        self._lru_next[s] = _NOT_IN
+        self._dead[s] = False
+        self._allocs[s] = None
+        self.n_nodes += 1
+        return s
+
+    def _store_reserve(self, m: int) -> int:
+        """Ensure the token store has room for ``m`` appended tokens;
+        returns the append offset. May compact (rewriting ``_estart``) when
+        evicted spans outweigh the live tokens."""
+        need = self._store_n + m
+        if need > self._store.shape[0]:
+            stranded = self._store_n - self.total_tokens
+            if stranded > self.total_tokens and stranded >= 1024:
+                self._compact_store()
+                need = self._store_n + m
+            if need > self._store.shape[0]:
+                cap = self._store.shape[0]
+                while cap < need:
+                    cap *= 2
+                new = _np.empty(cap, dtype=_np.int64)
+                new[: self._store_n] = self._store[: self._store_n]
+                self._store = new
+        return self._store_n
+
+    def _compact_store(self) -> None:
+        """Copy live edge spans to the front of a fresh buffer. Spans are
+        disjoint (splits divide, never duplicate), so this moves exactly
+        ``total_tokens`` tokens. Child-dispatch keys are unaffected — they
+        hold token *values*, not offsets."""
+        new = _np.empty(self._store.shape[0], dtype=_np.int64)
+        pos = 0
+        estart, elen, dead, store = self._estart, self._elen, self._dead, self._store
+        for s in range(1, self._n_slots):
+            if dead[s]:
+                continue
+            k = int(elen[s])
+            st = int(estart[s])
+            new[pos : pos + k] = store[st : st + k]
+            estart[s] = pos
+            pos += k
+        self._store = new
+        self._store_n = pos
+
+    def _probe_arr(self, tokens: Tuple[int, ...], packed: Optional[bytes]):
+        """``(array, bytes)`` views of the probe: the int64 array drives
+        vectorized compares, the bytes drive the medium-edge ``startswith``
+        pre-check. Zero-copy over ``packed`` when the caller supplied it,
+        else one marshalling pass memoized by tuple identity (clients
+        intern prompt tuples, so replays hit the memo)."""
+        key = id(tokens)
+        memo = self._probe_memo.get(key)
+        if memo is not None and memo[0] is tokens:
+            return memo[1], memo[2]
+        if packed is not None and len(packed) == len(tokens) * _PACK_BYTES:
+            arr = _np.frombuffer(packed, dtype=_np.int64)
+            pb = packed
+        else:
+            try:
+                arr = _np.asarray(tokens, dtype=_np.int64)
+            except (OverflowError, TypeError, ValueError) as exc:
+                raise ServingError(
+                    f"flat radix backend requires int64 token ids: {exc}"
+                )
+            pb = arr.tobytes()
+        if len(self._probe_memo) >= _PROBE_MEMO_CAP:
+            self._probe_memo.clear()
+        self._probe_memo[key] = (tokens, arr, pb)
+        return arr, pb
+
+    # ----------------------------------------------------------- LRU order
+    def _lru_unlink(self, s: int) -> None:
+        p = self._lru_prev[s]
+        nx = self._lru_next[s]
+        if p >= 0:
+            self._lru_next[p] = nx
+        else:
+            self._lru_head = nx
+        if nx >= 0:
+            self._lru_prev[nx] = p
+        else:
+            self._lru_tail = p
+        self._lru_prev[s] = _NOT_IN
+        self._lru_next[s] = _NOT_IN
+
+    def _lru_append(self, s: int) -> None:
+        t = self._lru_tail
+        self._lru_prev[s] = t
+        self._lru_next[s] = -1
+        if t >= 0:
+            self._lru_next[t] = s
+        else:
+            self._lru_head = s
+        self._lru_tail = s
+
+    def _touch(self, touched: List[int], now: int) -> None:
+        """Stamp ``touched`` slots with ``now`` and move them to the list
+        tail in node-id order. ``now`` is strictly greater than every stamp
+        already in the list (ticks are monotone), so appending the batch
+        sorted by id preserves the strict ``(stamp, id)`` order the
+        eviction scan relies on."""
+        if not touched:
+            return
+        if len(touched) > 1:
+            touched.sort(key=self._nid.__getitem__)
+        prev = self._lru_prev
+        for s in touched:
+            self._stamp[s] = now
+            if prev[s] != _NOT_IN:
+                self._lru_unlink(s)
+            self._lru_append(s)
+
+    # --------------------------------------------------------------- match
+    def _edge_lcp(self, c: int, tokens, pa, pb, pos: int, m: int) -> int:
+        """Common-prefix length of edge ``c`` vs the probe at ``pos``,
+        bounded by ``m`` (``m >= 1``; the first token matched via the
+        dispatch key).
+
+        Three regimes: tiny edges take a scalar loop; medium edges try one
+        C-level ``startswith`` against the probe bytes first (full-edge
+        matches — the common case on a warm walk — then cost one small
+        ``tobytes`` copy instead of a vectorized compare); long edges
+        gate that pre-check on last-token equality, so a divergent edge
+        (which almost always differs at its last position too) skips the
+        full-width ``tobytes`` copy and goes straight to compare+argmax,
+        while a warm full-edge match (shared 2k-token prompt header) still
+        gets the C fast path."""
+        if m == 1:
+            return 1
+        store = self._store
+        s = self._estart[c]
+        if m <= _SMALL_EDGE:
+            lcp = 1
+            while lcp < m and store[s + lcp] == tokens[pos + lcp]:
+                lcp += 1
+            return lcp
+        if (
+            m <= _PRECHECK_EDGE or store[s + m - 1] == tokens[pos + m - 1]
+        ) and pb.startswith(store[s : s + m].tobytes(), pos * _PACK_BYTES):
+            return m
+        neq = store[s : s + m] != pa[pos : pos + m]
+        j = int(neq.argmax())
+        return m if not neq[j] else j
+
+    def match(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
+        now = self._tick()
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        n = len(tokens)
+        pa, pb = self._probe_arr(tokens, packed) if n else (None, None)
+        self._stamp[0] = now
+        node = 0
+        pos = 0
+        touched: List[int] = []
+        children = self._children
+        elen = self._elen
+        while pos < n:
+            c = children.get((node, tokens[pos]))
+            if c is None:
+                break
+            k = elen[c]
+            rem = n - pos
+            m = k if k <= rem else rem
+            lcp = self._edge_lcp(c, tokens, pa, pb, pos, m)
+            touched.append(c)
+            pos += lcp
+            if lcp != k:
+                break
+            node = c
+        self._touch(touched, now)
+        if pos > 0:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return pos
+
+    def match_len(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        n = len(tokens)
+        pa, pb = self._probe_arr(tokens, packed) if n else (None, None)
+        node = 0
+        pos = 0
+        children = self._children
+        elen = self._elen
+        while pos < n:
+            c = children.get((node, tokens[pos]))
+            if c is None:
+                break
+            k = elen[c]
+            rem = n - pos
+            m = k if k <= rem else rem
+            lcp = self._edge_lcp(c, tokens, pa, pb, pos, m)
+            pos += lcp
+            if lcp != k:
+                break
+            node = c
+        return pos
+
+    # -------------------------------------------------------------- insert
+    def insert(self, tokens: Sequence[int], packed: Optional[bytes] = None) -> int:
+        now = self._tick()
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        n = len(tokens)
+        pa, pb = self._probe_arr(tokens, packed) if n else (None, None)
+        self._stamp[0] = now
+        node = 0
+        pos = 0
+        touched: List[int] = []
+        children = self._children
+        while pos < n:
+            c = children.get((node, tokens[pos]))
+            if c is None:
+                added = n - pos
+                # Stamp the walked ancestors before drawing from the pool:
+                # a CapacityError must leave the tree unchanged but the
+                # path touched, exactly like the node backend (which stamps
+                # inline during its walk).
+                self._touch(touched, now)
+                alloc = None
+                if self._bm is not None:
+                    # The engine pre-checks capacity before inserting, so
+                    # this draw from the pool cannot fail mid-admission.
+                    alloc = self._bm.allocate(added)
+                start = self._store_reserve(added)
+                self._store[start : start + added] = pa[pos:]
+                self._store_n = start + added
+                leaf = self._new_slot(node, start, added, now)
+                children[(node, tokens[pos])] = leaf
+                self._nchild[node] += 1
+                if alloc is not None:
+                    alloc.owner = leaf
+                    self._allocs[leaf] = alloc
+                self.total_tokens += added
+                # The leaf's id is the newest in the tree, so appending it
+                # after the ancestor batch keeps the strict (stamp, id)
+                # LRU order even though both share this tick's stamp.
+                self._touch([leaf], now)
+                self._last_end = (tokens, leaf)
+                return added
+            k = self._elen[c]
+            rem = n - pos
+            m = k if k <= rem else rem
+            lcp = self._edge_lcp(c, tokens, pa, pb, pos, m)
+            if lcp == k:
+                touched.append(c)
+                node = c
+                pos += lcp
+                continue
+            # Split edge c at lcp: the new head (mid) keeps [s, s+lcp) and
+            # the tail keeps [s+lcp, s+k) — disjoint spans of the same
+            # store region, no copy. Pins through the tail also pin the
+            # head, so mid inherits the tail's lock refcount.
+            s = self._estart[c]
+            mid = self._new_slot(node, s, lcp, now)
+            self._lock[mid] = self._lock[c]
+            if self._bm is not None:
+                a_mid, a_tail = self._bm.split(self._allocs[c], lcp)
+                a_mid.owner = mid
+                a_tail.owner = c
+                self._allocs[mid] = a_mid
+                self._allocs[c] = a_tail
+            children[(node, tokens[pos])] = mid
+            self._nchild[mid] = 1
+            self._estart[c] = s + lcp
+            self._elen[c] = k - lcp
+            self._parent[c] = mid
+            children[(mid, int(self._store[s + lcp]))] = c
+            touched.append(mid)
+            touched.append(c)
+            node = mid
+            pos += lcp
+        self._touch(touched, now)
+        if node != 0:
+            self._last_end = (tokens, node)
+        return 0
+
+    # ------------------------------------------------------------- pinning
+    def _path_end(self, tokens: Tuple[int, ...]) -> Optional[int]:
+        n = len(tokens)
+        if n == 0:
+            return None
+        pa, pb = self._probe_arr(tokens, None)
+        node = 0
+        pos = 0
+        last: Optional[int] = None
+        children = self._children
+        elen = self._elen
+        while pos < n:
+            c = children.get((node, tokens[pos]))
+            if c is None:
+                break
+            k = elen[c]
+            rem = n - pos
+            m = k if k <= rem else rem
+            lcp = self._edge_lcp(c, tokens, pa, pb, pos, m)
+            last = c
+            pos += lcp
+            if lcp < k:
+                break
+            node = c
+        return last
+
+    def _resolve_end(self, tokens: Tuple[int, ...]) -> Optional[int]:
+        memo = self._last_end
+        if memo is not None and memo[0] is tokens:
+            return memo[1]
+        return self._path_end(tokens)
+
+    def pin(self, tokens: Sequence[int]):
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        end = self._resolve_end(tokens)
+        if end is None:
+            return None
+        self._pins[end] += 1
+        lock = self._lock
+        parent = self._parent
+        cur = end
+        while cur != 0:
+            lock[cur] += 1
+            cur = parent[cur]
+        return (end, self._nid[end])
+
+    def unpin(self, ticket) -> None:
+        if ticket is None:
+            return
+        s, tid = ticket
+        # A stale ticket (slot evicted and reused) fails the id check —
+        # pinned nodes are never evicted, so this only fires on
+        # double-unpin, same as the node backend.
+        if self._dead[s] or self._nid[s] != tid or self._pins[s] <= 0:
+            raise ServingError("unpin without a matching pin")
+        self._pins[s] -= 1
+        lock = self._lock
+        parent = self._parent
+        cur = s
+        while cur != 0:
+            lock[cur] -= 1
+            if lock[cur] < 0:
+                raise ServingError("lock refcount went negative")
+            cur = parent[cur]
+
+    # ---------------------------------------------------- block ownership
+    def fork_path(self, tokens: Sequence[int]) -> List[BlockAllocation]:
+        if self._bm is None:
+            return []
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        forks: List[BlockAllocation] = []
+        cur = self._resolve_end(tokens)
+        if cur is None:
+            return forks
+        parent = self._parent
+        while cur != 0:
+            alloc = self._allocs[cur]
+            if alloc is None:
+                raise ServingError(
+                    f"node {self._nid[cur]} has no block allocation to fork"
+                )
+            forks.append(self._bm.fork(alloc))
+            cur = parent[cur]
+        return forks
+
+    def fork_path_bundle(self, tokens: Sequence[int]) -> Optional[BlockAllocation]:
+        if self._bm is None:
+            return None
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
+        cur = self._resolve_end(tokens)
+        if cur is None:
+            return None
+        bm = self._bm
+        extra: List[int] = []
+        n_tokens = 0
+        parent = self._parent
+        if bm.vector:
+            parts: List[object] = []
+            while cur != 0:
+                alloc = self._allocs[cur]
+                if alloc is None:
+                    raise ServingError(
+                        f"node {self._nid[cur]} has no block allocation to fork"
+                    )
+                arr = alloc.ids_arr
+                if arr is None:
+                    arr = bm.ids_array(alloc)
+                p = parent[cur]
+                if alloc.start_offset and p != 0:
+                    # Mid-block edge start: its first block is the straddle
+                    # shared with (and listed last in) the parent edge's
+                    # allocation — the parent contributes the distinct id,
+                    # only the second occurrence is recorded here.
+                    extra.append(alloc.block_ids[0])
+                    parts.append(arr[1:])
+                else:
+                    parts.append(arr)
+                n_tokens += alloc.n_tokens
+                cur = p
+            return bm.fork_bundle_parts(parts, extra, n_tokens)
+        base: List[int] = []
+        while cur != 0:
+            alloc = self._allocs[cur]
+            if alloc is None:
+                raise ServingError(
+                    f"node {self._nid[cur]} has no block allocation to fork"
+                )
+            bids = alloc.block_ids
+            p = parent[cur]
+            if alloc.start_offset and p != 0:
+                extra.append(bids[0])
+                base.extend(bids[1:])
+            else:
+                base.extend(bids)
+            n_tokens += alloc.n_tokens
+            cur = p
+        return bm.fork_bundle(base, extra, n_tokens)
+
+    # ------------------------------------------------------ legacy walkers
+    def path_node_ids(self, tokens: Sequence[int]) -> Set[int]:
+        ids: Set[int] = set()
+        tokens = tuple(tokens)
+        n = len(tokens)
+        if n == 0:
+            return ids
+        pa, pb = self._probe_arr(tokens, None)
+        node = 0
+        pos = 0
+        children = self._children
+        elen = self._elen
+        while pos < n:
+            c = children.get((node, tokens[pos]))
+            if c is None:
+                break
+            k = elen[c]
+            rem = n - pos
+            m = k if k <= rem else rem
+            lcp = self._edge_lcp(c, tokens, pa, pb, pos, m)
+            ids.add(self._nid[c])
+            pos += lcp
+            if lcp < k:
+                break
+            node = c
+        return ids
+
+    # ------------------------------------------------------------ eviction
+    def evict(
+        self,
+        n_units: int,
+        protected: Iterable[Sequence[int]] = (),
+        unit: str = "tokens",
+    ) -> int:
+        if unit not in ("tokens", "blocks"):
+            raise ServingError(f"unknown eviction unit {unit!r}")
+        if unit == "blocks" and self._bm is None:
+            raise ServingError("block-denominated eviction needs a block manager")
+        tickets = [self.pin(seq) for seq in protected]
+        try:
+            freed = 0
+            nchild = self._nchild
+            lock = self._lock
+            stamp = self._stamp
+            nid = self._nid
+            parent = self._parent
+            lru_next = self._lru_next
+            cur = self._lru_head
+            while freed < n_units and cur != -1:
+                if nchild[cur] or lock[cur]:
+                    cur = lru_next[cur]
+                    continue
+                vstamp = stamp[cur]
+                vid = nid[cur]
+                p = parent[cur]
+                nxt = lru_next[cur]
+                freed += self._remove_leaf(cur, unit)
+                if (
+                    p != 0
+                    and not nchild[p]
+                    and not lock[p]
+                    and stamp[p] == vstamp
+                    and nid[p] < vid
+                ):
+                    # The parent just became an evictable leaf that sorts
+                    # *before* the victim (insert-split tie: one tick
+                    # stamped both, the head kept the smaller id) — the
+                    # only candidate that can appear behind the cursor.
+                    cur = p
+                else:
+                    cur = nxt
+            return freed
+        finally:
+            for ticket in tickets:
+                self.unpin(ticket)
+
+    def _remove_leaf(self, s: int, unit: str = "tokens") -> int:
+        k = self._elen[s]
+        self.total_tokens -= k
+        self.evicted_tokens += k
+        self.evicted_nodes += 1
+        self.n_nodes -= 1
+        p = self._parent[s]
+        del self._children[(p, int(self._store[self._estart[s]]))]
+        self._nchild[p] -= 1
+        self._lru_unlink(s)
+        freed_blocks = 0
+        alloc = self._allocs[s]
+        if self._bm is not None and alloc is not None:
+            before = self._bm.free_blocks
+            self._bm.release(alloc)
+            freed_blocks = self._bm.free_blocks - before
+        self._allocs[s] = None
+        self._dead[s] = True
+        self._free.append(s)
+        memo = self._last_end
+        if memo is not None and memo[1] == s:
+            self._last_end = None
+        return freed_blocks if unit == "blocks" else k
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        out = super().stats()
+        out["token_store_bytes"] = int(self._store.nbytes)
+        return out
+
+    # ---------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Debug/testing: verify token/node accounting, tree structure,
+        pin refcounts, block ownership, store-span disjointness, and the
+        strict ``(stamp, id)`` order of the LRU list."""
+        live = [s for s in range(1, self._n_slots) if not self._dead[s]]
+        if len(live) != self.n_nodes:
+            raise ServingError(
+                f"node accounting drift: counted {len(live)}, "
+                f"recorded {self.n_nodes}"
+            )
+        count = sum(int(self._elen[s]) for s in live)
+        if count != self.total_tokens:
+            raise ServingError(
+                f"token accounting drift: counted {count}, "
+                f"recorded {self.total_tokens}"
+            )
+        if self._dead[0] or int(self._elen[0]) != 0:
+            raise ServingError("root slot corrupted")
+        # Child dispatch: every key consistent, tallies match _nchild.
+        nchild_tally: Dict[int, int] = {}
+        child_locks: Dict[int, int] = {}
+        for (p, tok), c in self._children.items():
+            if self._dead[c]:
+                raise ServingError("evicted node still reachable")
+            if self._dead[p]:
+                raise ServingError("child keyed under a dead parent")
+            if int(self._parent[c]) != p:
+                raise ServingError("parent pointer corrupted")
+            if int(self._store[int(self._estart[c])]) != tok:
+                raise ServingError("child keyed by wrong first token")
+            nchild_tally[p] = nchild_tally.get(p, 0) + 1
+            child_locks[p] = child_locks.get(p, 0) + int(self._lock[c])
+        for s in [0] + live:
+            if nchild_tally.get(s, 0) != int(self._nchild[s]):
+                raise ServingError(
+                    f"child count drift at slot {s}: counted "
+                    f"{nchild_tally.get(s, 0)}, recorded {int(self._nchild[s])}"
+                )
+        for s in live:
+            if int(self._elen[s]) <= 0:
+                raise ServingError("non-root node with empty edge")
+            if int(self._estart[s]) + int(self._elen[s]) > self._store_n:
+                raise ServingError("edge span outside the token store")
+            if self._pins[s] < 0 or self._lock[s] < 0:
+                raise ServingError("negative pin refcount")
+            if int(self._lock[s]) != int(self._pins[s]) + child_locks.get(s, 0):
+                raise ServingError(
+                    f"lock refcount drift at slot {s}: "
+                    f"lock={int(self._lock[s])}, pins={int(self._pins[s])}, "
+                    f"children={child_locks.get(s, 0)}"
+                )
+            p = int(self._parent[s])
+            if p < 0:
+                raise ServingError("non-root node without parent")
+            if p != 0 and self._stamp[p] < self._stamp[s]:
+                raise ServingError(
+                    "parent LRU stamp behind child (touch must stamp the "
+                    "whole path)"
+                )
+            # Every live node must reach the root through live parents.
+            hops = 0
+            while p != 0:
+                if self._dead[p]:
+                    raise ServingError("live node parented to a dead slot")
+                p = int(self._parent[p])
+                hops += 1
+                if hops > self._n_slots:
+                    raise ServingError("parent chain cycle")
+            if self._bm is not None:
+                alloc = self._allocs[s]
+                if alloc is None:
+                    raise ServingError(f"slot {s} has no block allocation")
+                if alloc.released:
+                    raise ServingError(f"slot {s} holds a released allocation")
+                if alloc.owner != s:
+                    raise ServingError(
+                        f"allocation owner {alloc.owner} out of sync with slot {s}"
+                    )
+                if alloc.n_tokens != int(self._elen[s]):
+                    raise ServingError(
+                        f"slot {s} allocation covers {alloc.n_tokens} tokens "
+                        f"for a {int(self._elen[s])}-token edge"
+                    )
+                pslot = int(self._parent[s])
+                if alloc.start_offset and pslot != 0:
+                    parent_alloc = self._allocs[pslot]
+                    if (
+                        parent_alloc is None
+                        or parent_alloc.block_ids[-1] != alloc.block_ids[0]
+                    ):
+                        raise ServingError(
+                            f"slot {s} straddle block out of sync with "
+                            f"parent allocation"
+                        )
+        # Store spans of live nodes never overlap (splits divide, eviction
+        # strands — nothing duplicates).
+        spans = sorted((int(self._estart[s]), int(self._elen[s])) for s in live)
+        end = 0
+        for st, k in spans:
+            if st < end:
+                raise ServingError("overlapping edge spans in the token store")
+            end = st + k
+        # LRU list: doubly linked, strictly sorted by (stamp, id), covering
+        # exactly the live non-root slots — the flat analogue of the heap
+        # coverage check.
+        seen = 0
+        prev_slot = -1
+        prev_key: Optional[Tuple[int, int]] = None
+        cur = self._lru_head
+        while cur != -1:
+            if self._dead[cur] or cur == 0:
+                raise ServingError("dead or root slot in the LRU list")
+            if int(self._lru_prev[cur]) != prev_slot:
+                raise ServingError("LRU back-link corrupted")
+            key = (int(self._stamp[cur]), int(self._nid[cur]))
+            if prev_key is not None and key <= prev_key:
+                raise ServingError("LRU list out of (stamp, id) order")
+            prev_key = key
+            prev_slot = cur
+            seen += 1
+            if seen > len(live):
+                raise ServingError("LRU list cycle")
+            cur = int(self._lru_next[cur])
+        if seen != len(live):
+            raise ServingError(
+                f"LRU list covers {seen} slots, {len(live)} live nodes"
+            )
+        if self._lru_tail != prev_slot:
+            raise ServingError("LRU tail out of sync")
         if self._bm is not None:
             self._bm.check_invariants()

@@ -25,8 +25,8 @@ Policies (``EngineConfig.scheduler`` / :data:`SCHEDULER_POLICIES`):
 
 ``"prefix-affinity"``
     Picks the waiting request whose prompt has the longest cached prefix
-    in the engine's radix tree right now (side-effect-free
-    :meth:`~repro.llm.radix.RadixPrefixCache.match_len` probes), so
+    in the engine's radix tree right now (one side-effect-free
+    :meth:`~repro.llm.radix.RadixPrefixCache.match_many` bulk probe), so
     admissions extend currently-hot paths instead of thrashing the cache
     across tenants — the paper's prefix-sharing win under contention.
     Ties (including the all-cold case) fall back to FCFS order.
@@ -114,8 +114,8 @@ class SchedulerPolicy:
     (repeatedly — the call must be deterministic and mutation-free given an
     unchanged pool and clock) and :meth:`pop` to commit the admission.
     ``cache`` is the engine's radix cache (None when prefix caching is
-    off); policies may probe it with the side-effect-free ``match_len``
-    only. ``now`` is the engine clock at the admission point — the clock
+    off); policies may probe it with the side-effect-free ``match_len`` /
+    ``match_many`` only. ``now`` is the engine clock at the admission point — the clock
     only advances at event boundaries, where both replay modes probe
     admission at identical times, so clock-dependent selection stays
     mode-equivalent.
@@ -233,9 +233,11 @@ class SJFPolicy(SchedulerPolicy):
 class PrefixAffinityPolicy(SchedulerPolicy):
     """Longest currently-cached prefix first; FCFS among ties.
 
-    An O(pool) side-effect-free radix probe per selection — fine for a
-    simulator, and exactly the signal a prefix-caching server has at hand
-    (vLLM/SGLang expose the same lookup their admission uses).
+    One bulk side-effect-free :meth:`RadixPrefixCache.match_many` probe
+    per selection answers every waiting candidate in a single pass
+    (deduplicating shared prompt tuples) — fine for a simulator, and
+    exactly the signal a prefix-caching server has at hand (vLLM/SGLang
+    expose the same lookup their admission uses).
     """
 
     name = "prefix-affinity"
@@ -253,10 +255,10 @@ class PrefixAffinityPolicy(SchedulerPolicy):
             return None
         if cache is None:
             return min(self._pool)[1]
+        hits = cache.match_many([req for _, req in self._pool])
         best = None
         best_key: Tuple[int, int] = (1, 0)
-        for seq, req in self._pool:
-            hit = cache.match_len(req.prompt_tokens, req.prompt_bytes)
+        for (seq, req), hit in zip(self._pool, hits):
             key = (-hit, seq)  # longest hit, then FCFS
             if best is None or key < best_key:
                 best, best_key = req, key
@@ -375,9 +377,20 @@ class DeadlinePolicy(SchedulerPolicy):
     ``deadline_s`` comes from the request (``Request.deadline_s``) or the
     policy default. EDF gives monotone priority aging for free — waiting
     requests climb the queue as the clock approaches their deadline.
-    Requests already past their deadline at selection time are shed to the
-    back (FCFS among themselves): they still complete, but they no longer
-    block requests that can still meet their SLO.
+    Requests with an *explicit* deadline already past at selection time
+    are shed to the back (FCFS among themselves): they still complete,
+    but they no longer block requests that can still meet their SLO.
+
+    Deadline-less requests are never shed. Their synthetic deadline
+    (arrival + policy default) stays their EDF key even once the clock
+    passes it, so queue age keeps tightening their effective priority: a
+    freshly arriving explicit-deadline request out-ranks a waiting
+    deadline-less one only while its own deadline is earlier, which drifts
+    later with every arrival. Under a sustained urgent stream a
+    deadline-less request is therefore served after a bounded interval
+    instead of starving behind every future arrival (pure EDF with
+    re-shedding let that happen; see
+    ``test_scheduler.py::TestDeadlineStarvation``).
 
     Selection is an O(pool) mutation-free scan (same shape as
     :class:`PrefixAffinityPolicy`); the late/on-time split depends only on
@@ -401,6 +414,10 @@ class DeadlinePolicy(SchedulerPolicy):
 
     def _key(self, seq: int, req: Request, now: float) -> Tuple[int, float, int]:
         deadline = self.deadline_of(req)
+        if getattr(req, "deadline_s", None) is None:
+            # Deadline-less: a time-invariant EDF key — never shed to the
+            # late bucket, so queue age monotonically improves its rank.
+            return (0, deadline, seq)
         late = 1 if deadline < now else 0
         # Late requests fall back to FCFS order behind every on-time one.
         return (late, seq, seq) if late else (late, deadline, seq)
@@ -449,11 +466,15 @@ class DeadlinePolicy(SchedulerPolicy):
         return victim
 
     def next_priority_shift(self, now: float) -> Optional[float]:
-        """The next waiting deadline to expire: when it does, that request
-        is shed to the late bucket and a different head — with different
-        preemption leverage — emerges."""
+        """The next waiting *explicit* deadline to expire: when it does,
+        that request is shed to the late bucket and a different head —
+        with different preemption leverage — emerges. Deadline-less
+        requests have time-invariant keys, so their expiry shifts
+        nothing."""
         best = None
         for _, req in self._pool:
+            if getattr(req, "deadline_s", None) is None:
+                continue
             deadline = self.deadline_of(req)
             if deadline >= now and (best is None or deadline < best):
                 best = deadline

@@ -311,4 +311,10 @@ class BatchInferenceServer:
             f"({100 * rate:.1f}%), {ec['entries']} entries, "
             f"{ec['evictions']} evictions"
         )
+        rx = self.client.radix_stats()
+        lines.append(
+            f"radix cache: backend={rx['backend']}, {rx['nodes']} nodes, "
+            f"{rx['token_store_bytes']} store bytes, "
+            f"{rx['evicted_nodes']} nodes / {rx['evicted_tokens']} tok evicted"
+        )
         return "\n".join(lines)

@@ -128,6 +128,51 @@ class TestCli:
         assert "regression" in capsys.readouterr().err
 
 
+class TestShow:
+    def _write(self, path, recs):
+        path.write_text(json.dumps({"records": list(recs.values())}))
+
+    def test_renders_table_per_area(self, tmp_path, capsys):
+        a = tmp_path / "BENCH_core.json"
+        b = tmp_path / "BENCH_serving.json"
+        self._write(a, _recs(core_speedup=2.5))
+        self._write(b, _recs(replay_speedup=3.1))
+        assert main(["show", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "area: core" in out and "area: serving" in out
+        assert "core_speedup" in out and "replay_speedup" in out
+        assert "benchmark" in out and "criterion" in out and "commit" in out
+        assert "OK" in out
+
+    def test_failing_criterion_renders_fail_but_exits_zero(
+        self, tmp_path, capsys
+    ):
+        f = tmp_path / "BENCH_x.json"
+        self._write(f, _recs(slow=0.4))  # criterion is ">= 1.0"
+        assert main(["show", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "0.4" in out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "BENCH_ghost.json")]) == 2
+        assert "missing file" in capsys.readouterr().err
+
+    def test_no_default_files_exits_two(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["show"]) == 2
+        assert "no BENCH_*.json files" in capsys.readouterr().err
+
+    def test_default_glob_finds_committed_baselines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        base = tmp_path / "benchmarks" / "baselines"
+        base.mkdir(parents=True)
+        self._write(base / "BENCH_area.json", _recs(metric=1.5))
+        monkeypatch.chdir(tmp_path)
+        assert main(["show"]) == 0
+        assert "area: area" in capsys.readouterr().out
+
+
 class TestEmitPerfRecords:
     def _result(self, policy, engine_seconds, phr=0.5):
         return RunResult(

@@ -152,15 +152,22 @@ class TestPrefixAware:
         # working sets land on distinct replicas.
         assert picks == {0, 1, 2, 3}
 
-    def test_short_prompt_below_one_block_is_cold(self):
+    def test_cold_prompt_falls_back_to_least_queued(self):
         router = PrefixAwareRouter(2, _cost(), digest_block=16)
-        assert router._digests(range(15)) == []
         assert router.route(_req(0, range(15))) == 0
 
-    def test_sketch_is_bounded(self):
+    def test_short_prompt_matches_exactly(self):
+        # The digest sketch was blind below one block; the shadow radix
+        # tree matches per token, so even a short repeated prompt sticks.
+        router = PrefixAwareRouter(2, _cost(), digest_block=16)
+        first = router.route(_req(0, range(15)))
+        assert router.route(_req(1, range(15))) == first
+
+    def test_shadow_tree_is_token_bounded(self):
         router = PrefixAwareRouter(1, _cost(), digest_block=1, sketch_entries=8)
         router.route(_req(0, range(100)))
-        assert len(router._sketches[0]) == 8
+        assert router.shadow_tokens == 8
+        assert router._shadows[0].total_tokens <= 8
 
 
 class TestTenantSharded:

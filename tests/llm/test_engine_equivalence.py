@@ -18,7 +18,11 @@ from repro.errors import CapacityError
 from repro.llm.engine import EngineConfig, SimulatedLLMEngine
 from repro.llm.hardware import CLUSTER_1XL4
 from repro.llm.models import LLAMA3_8B
-from repro.llm.radix import pack_tokens
+from repro.llm.radix import (
+    pack_tokens,
+    serving_fastpath_enabled,
+    serving_radix_enabled,
+)
 from repro.llm.request import Request
 
 
@@ -87,7 +91,17 @@ def assert_equivalent(requests, waves=1, **cfg_kwargs):
     e_evt, r_evt = run_mode(requests, "event", waves=waves, **cfg_kwargs)
 
     assert e_step.mode == "stepwise" and e_evt.mode == "event"
-    assert e_step.cache.eviction == "scan" and e_evt.cache.eviction == "heap"
+    # The stepwise oracle always keeps the node tree + scan eviction; the
+    # event engine resolves the fast cache (flat array-backed when numpy
+    # and REPRO_SERVING_RADIX allow, node tree + lazy heap otherwise).
+    assert e_step.cache.backend == "node" and e_step.cache.eviction == "scan"
+    if serving_radix_enabled() and serving_fastpath_enabled():
+        assert e_evt.cache.backend == "flat"
+    else:
+        # REPRO_SERVING_FASTPATH=0 also forces the scan eviction oracle.
+        assert e_evt.cache.backend == "node"
+        expected = "heap" if serving_fastpath_enabled() else "scan"
+        assert e_evt.cache.eviction == expected
 
     for rs, re in zip(r_step, r_evt):
         # Integer metrics: identical.
@@ -189,19 +203,35 @@ class TestEventModeBasics:
         monkeypatch.delenv("REPRO_SERVING_VECTOR", raising=False)
         eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
         assert eng.mode == "vector"
-        assert eng.cache.eviction == "heap"
+        if serving_radix_enabled() and serving_fastpath_enabled():
+            assert eng.cache.backend == "flat"
+        else:
+            assert eng.cache.eviction == "heap"
 
     def test_vector_flag_selects_scalar_event(self, monkeypatch):
         monkeypatch.delenv("REPRO_SERVING_FASTPATH", raising=False)
         monkeypatch.setenv("REPRO_SERVING_VECTOR", "0")
         eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
         assert eng.mode == "event"
+        if serving_radix_enabled() and serving_fastpath_enabled():
+            assert eng.cache.backend == "flat"
+        else:
+            assert eng.cache.eviction == "heap"
+
+    def test_radix_flag_selects_node_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVING_FASTPATH", raising=False)
+        monkeypatch.delenv("REPRO_SERVING_VECTOR", raising=False)
+        monkeypatch.setenv("REPRO_SERVING_RADIX", "0")
+        eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
+        assert eng.mode == "vector"
+        assert eng.cache.backend == "node"
         assert eng.cache.eviction == "heap"
 
     def test_env_flag_selects_oracle(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVING_FASTPATH", "0")
         eng = SimulatedLLMEngine(LLAMA3_8B, CLUSTER_1XL4)
         assert eng.mode == "stepwise"
+        assert eng.cache.backend == "node"
         assert eng.cache.eviction == "scan"
 
     def test_capacity_error_in_both_modes(self):

@@ -309,6 +309,9 @@ class TestEncodeCacheTelemetry:
         stats = server.client.encode_cache_stats()
         assert stats["misses"] >= 2  # alpha, beta cold
         assert stats["hits"] >= 1  # second alpha
-        line = server.report().splitlines()[-1]
-        assert line.startswith("encode cache:")
-        assert f"{stats['hits']} hits" in line
+        ec_line, radix_line = server.report().splitlines()[-2:]
+        assert ec_line.startswith("encode cache:")
+        assert f"{stats['hits']} hits" in ec_line
+        rx = server.client.radix_stats()
+        assert radix_line.startswith(f"radix cache: backend={rx['backend']}")
+        assert f"{rx['nodes']} nodes" in radix_line
