@@ -28,6 +28,15 @@ Both serving demos accept the continuous-batching knobs: ``--preemption
 late-arriving urgent work, ``--chunk N`` splits long prefills into
 N-token segments interleaved with decode, and ``--deadline-policy S``
 sets the ``deadline`` EDF scheduler's default per-request deadline.
+
+Both also accept ``--emit-trace FILE``: tracing is forced on and the
+replay's execution trace — per-request lifecycle spans, preemption /
+eviction / shed instants, and scheduler gauge timelines — is written as
+Chrome trace-event JSON (load in Perfetto or chrome://tracing; one track
+per policy for serve-trace, one per routing/replica for serve-cluster)
+or compact JSONL with a ``.jsonl`` extension. ``repro trace-report FILE``
+prints the per-track, per-tenant phase breakdown (queue / prefill /
+decode / swap-stall %) of such a file.
 """
 
 from __future__ import annotations
@@ -51,7 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment name, 'all', 'list', 'explain', 'serve-trace', "
-             "or 'serve-cluster'",
+             "'serve-cluster', or 'trace-report'",
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None,
+        help="trace file for 'repro trace-report' (Chrome JSON or JSONL, "
+             "as written by --emit-trace)",
     )
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale factor (1.0 = paper size)")
@@ -104,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "'deadline' EDF scheduler in the serving "
                              "demos (requests without their own "
                              "deadline_s use it)")
+    parser.add_argument("--emit-trace", type=str, default=None,
+                        help="write the serving demos' execution trace "
+                             "here (forces tracing on): Chrome trace-event "
+                             "JSON for Perfetto/chrome://tracing, or "
+                             "compact JSONL with a .jsonl extension; "
+                             "inspect with 'repro trace-report FILE'")
     return parser
 
 
@@ -208,6 +228,7 @@ def run_serve_trace(args) -> str:
     # telemetry below shows the cross-policy reuse.
     tokenizer = HashTokenizer()
     last = None
+    tracks = []
     for policy in policies:
         client = SimulatedLLMClient(
             engine_config=EngineConfig(
@@ -216,10 +237,13 @@ def run_serve_trace(args) -> str:
                 preemption=args.preemption,
                 prefill_chunk_tokens=args.chunk,
                 scheduler_deadline_s=args.deadline_policy,
+                trace="on" if args.emit_trace else "auto",
             ),
             tokenizer=tokenizer,
         )
         res = client.generate_trace(trace, deadline_s=args.deadline)
+        if res.engine_result.trace is not None:
+            tracks.append((res.scheduler, res.engine_result.trace))
         s = res.slo
         lines.append(
             f"{res.scheduler:<16} {100 * res.prefix_hit_rate:5.1f}%  "
@@ -248,6 +272,16 @@ def run_serve_trace(args) -> str:
         )
         lines.append("")
         lines.append(last.slo.render(f"per-tenant SLO ({last.scheduler})"))
+    if args.emit_trace:
+        from repro.llm.tracing import write_trace
+
+        write_trace(tracks, args.emit_trace)
+        lines.append("")
+        lines.append(
+            f"trace: wrote {len(tracks)} track(s) to {args.emit_trace} "
+            f"(inspect with 'repro trace-report {args.emit_trace}' or "
+            f"load in Perfetto)"
+        )
     return "\n".join(lines)
 
 
@@ -283,6 +317,8 @@ def run_serve_cluster(args) -> str:
     ]
     tokenizer = HashTokenizer()
     last = None
+    last_engine = None
+    tracks = []
     for routing in routings:
         engine = ClusterEngine(
             config=ClusterConfig(
@@ -294,11 +330,15 @@ def run_serve_cluster(args) -> str:
                     preemption=args.preemption,
                     prefill_chunk_tokens=args.chunk,
                     scheduler_deadline_s=args.deadline_policy,
+                    trace="on" if args.emit_trace else "auto",
                 ),
             ),
             tokenizer=tokenizer,
         )
         res = engine.run_trace(trace, deadline_s=args.deadline)
+        tracks.extend(
+            (f"{res.routing}/{label}", tr) for label, tr in res.trace_tracks()
+        )
         lines.append(
             f"{res.routing:<18} {res.n_replicas:>8}  "
             f"{100 * res.prefix_hit_rate:5.1f}%  "
@@ -307,7 +347,18 @@ def run_serve_cluster(args) -> str:
             f"[{res.worker_transport}]"
         )
         last = res
+        last_engine = engine
     if last is not None:
+        # The encode cache rides the tokenizer, shared by every engine in
+        # the sweep — one fleet-wide line, matching serve-trace's.
+        ec = last_engine.encode_cache_stats()
+        ec_lookups = ec["hits"] + ec["misses"]
+        ec_rate = ec["hits"] / ec_lookups if ec_lookups else 0.0
+        lines.append(
+            f"encode cache: {ec['hits']} hits / "
+            f"{ec['misses']} misses ({100 * ec_rate:.1f}%), "
+            f"{ec['entries']} entries, {ec['evictions']} evictions"
+        )
         lines.append("")
         lines.append(last.render_replicas())
         lines.append("")
@@ -316,7 +367,29 @@ def run_serve_cluster(args) -> str:
                 f"per-tenant SLO ({last.routing}, {last.n_replicas} replicas)"
             )
         )
+    if args.emit_trace:
+        from repro.llm.tracing import write_trace
+
+        write_trace(tracks, args.emit_trace)
+        lines.append("")
+        lines.append(
+            f"trace: wrote {len(tracks)} track(s) to {args.emit_trace} "
+            f"(inspect with 'repro trace-report {args.emit_trace}' or "
+            f"load in Perfetto)"
+        )
     return "\n".join(lines)
+
+
+def run_trace_report(path: Optional[str]) -> str:
+    """Per-phase time breakdown of an ``--emit-trace`` file."""
+    from repro.errors import ReproError
+    from repro.llm.tracing import trace_report
+
+    if not path:
+        raise ReproError(
+            "trace-report needs a trace file: repro trace-report TRACE.json"
+        )
+    return trace_report(path)
 
 
 def _run_subcommand(name: str, runner, out: Optional[str]) -> int:
@@ -361,6 +434,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "serve-cluster":
         return _run_subcommand(
             "serve-cluster", lambda: run_serve_cluster(args), args.out
+        )
+
+    if args.experiment == "trace-report":
+        return _run_subcommand(
+            "trace-report", lambda: run_trace_report(args.path), args.out
         )
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

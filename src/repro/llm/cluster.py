@@ -100,6 +100,7 @@ from repro.llm.radix import RadixPrefixCache
 from repro.llm.request import Request, RequestMetrics
 from repro.llm.scheduler import SLOReport, compute_slo
 from repro.llm.tokenizer import HashTokenizer
+from repro.llm.tracing import EngineTrace
 from repro.llm.workload import WorkloadTrace
 
 try:  # numpy backs the spawn backend's shared-memory token transport.
@@ -478,6 +479,9 @@ class ReplicaStats:
     #: Full :meth:`RadixPrefixCache.stats` snapshot (backend, node count,
     #: token-store bytes, eviction totals) for operator output.
     cache_stats: Optional[Dict[str, object]] = None
+    #: Peak engine-side waiting-queue depth (scheduler backlog), as opposed
+    #: to ``peak_queue_depth`` which is the router's outstanding view.
+    peak_waiting: int = 0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -554,18 +558,29 @@ class ClusterResult:
         """SLO rollup of the merged metrics under a different deadline."""
         return compute_slo(self.request_metrics, deadline_s=deadline_s)
 
+    def trace_tracks(self) -> List[Tuple[str, "EngineTrace"]]:
+        """Named per-replica engine traces, for Chrome/JSONL export.
+
+        Each replica becomes one named track (→ one Chrome process row);
+        replicas whose engines ran with tracing off are omitted."""
+        return [
+            (f"replica{i}", r.trace)
+            for i, r in enumerate(self.engine_results)
+            if r.trace is not None
+        ]
+
     def render_replicas(self) -> str:
         """Operator-style per-replica table."""
         lines = [
             "replica   reqs  prompt_tok    phr    peak_kv  occupancy"
-            "  peak_queue  makespan"
+            "  peak_queue  peak_wait  makespan"
         ]
         for s in self.replicas:
             lines.append(
                 f"{s.replica:>7}  {s.n_requests:>5}  {s.prompt_tokens:>10}  "
                 f"{100 * s.prefix_hit_rate:5.1f}%  {s.peak_kv_tokens:>9}  "
                 f"{100 * s.occupancy:8.1f}%  {s.peak_queue_depth:>10}  "
-                f"{s.total_seconds:7.2f}s"
+                f"{s.peak_waiting:>9}  {s.total_seconds:7.2f}s"
             )
         lines.append(
             f"cluster: {self.n_replicas} replicas, routing={self.routing}, "
@@ -783,6 +798,12 @@ class ClusterEngine:
             self.routing = "round-robin"
             self.backend = "inline"
 
+    # ----------------------------------------------------------- telemetry
+    def encode_cache_stats(self) -> Dict[str, int]:
+        """Tokenizer encode-cache counters (shared across every replay
+        this engine runs — encoding happens once, cluster-side)."""
+        return self._encode_cache.stats()
+
     # ------------------------------------------------------------- routing
     def route_requests(
         self, requests: Sequence[Request]
@@ -928,6 +949,7 @@ class ClusterEngine:
                     cache_evicted_tokens=counters["evicted_tokens"],
                     cache_total_tokens=counters["total_tokens"],
                     cache_stats=counters.get("stats"),
+                    peak_waiting=result.peak_waiting,
                 )
             )
         merged.sort(key=lambda m: m.request_id)

@@ -135,6 +135,7 @@ from repro.llm.scheduler import (
     serving_preempt_enabled,
     validate_policy_name,
 )
+from repro.llm.tracing import EngineTrace, TraceRecorder, serving_trace_enabled
 
 try:  # numpy backs mode="vector"; without it the scalar modes remain.
     import numpy as _np
@@ -198,6 +199,13 @@ class EngineConfig:
     #: at once. A quota-full tenant blocks admission head-of-line, like a
     #: full pool.
     tenant_kv_quota_blocks: Optional[dict] = None
+    #: Request-lifecycle tracing (:mod:`repro.llm.tracing`): ``"on"``
+    #: records spans/instants/gauges into ``EngineResult.trace``;
+    #: ``"off"`` keeps the no-op path (``tracer is None``, zero per-event
+    #: cost); ``"auto"`` follows ``REPRO_SERVING_TRACE`` — **off** by
+    #: default, inverted vs the other serving gates, because tracing is
+    #: an opt-in observer rather than a replay layer.
+    trace: str = "auto"
 
     def __post_init__(self):
         # Name validity fails here, at config construction; env-dependent
@@ -228,6 +236,11 @@ class EngineConfig:
             raise ServingError(
                 f"scheduler_deadline_s must be positive, got "
                 f"{self.scheduler_deadline_s}"
+            )
+        if self.trace not in ("auto", "on", "off"):
+            raise ServingError(
+                f"unknown trace mode {self.trace!r}; "
+                f"choose from ('auto', 'on', 'off')"
             )
 
 
@@ -304,6 +317,14 @@ class EngineResult:
     preempted_tokens_recomputed: int = 0
     preempted_tokens_swapped: int = 0
     n_prefill_chunks: int = 0
+    #: Deepest waiting queue observed at any admission point this run
+    #: (arrived-but-unadmitted requests in the scheduling policy).
+    #: Always tracked — one integer max per admission probe.
+    peak_waiting: int = 0
+    #: Lifecycle trace of this run (:class:`~repro.llm.tracing.
+    #: EngineTrace`); None unless tracing is enabled. Excluded from the
+    #: metric-equality contracts — it is an observer, not a metric.
+    trace: Optional[EngineTrace] = None
 
     def slo(self, deadline_s: Optional[float] = None) -> SLOReport:
         """Latency/goodput rollup (queueing delay, TTFT, E2E percentiles,
@@ -456,6 +477,14 @@ class _VectorState:
         )
 
 
+def _resolve_trace(trace: str) -> bool:
+    if trace == "auto":
+        return serving_trace_enabled()
+    if trace not in ("on", "off"):
+        raise ServingError(f"unknown trace mode {trace!r}")
+    return trace == "on"
+
+
 def _resolve_accounting(accounting: str) -> str:
     if accounting == "auto":
         return "paged" if paged_accounting_enabled() else "tokens"
@@ -544,6 +573,14 @@ class SimulatedLLMEngine:
         self.scheduler: SchedulerPolicy = make_policy(
             self.scheduler_name, **sched_kwargs
         )
+        #: Lifecycle trace recorder (:mod:`repro.llm.tracing`), or None
+        #: when tracing is off — every hook site gates on that one
+        #: attribute test, so the disabled path costs nothing.
+        self.tracer: Optional[TraceRecorder] = (
+            TraceRecorder(self.cost) if _resolve_trace(self.config.trace) else None
+        )
+        self.scheduler.bind_tracer(self.tracer)
+        self._peak_waiting = 0
         # Continuous-batching layer: REPRO_SERVING_PREEMPT=0 forces the
         # one-shot admit-and-forget shape (no preemption, monolithic
         # prefill) regardless of config — the selectable oracle.
@@ -599,6 +636,8 @@ class SimulatedLLMEngine:
         return self._clock
 
     def submit(self, request: Request) -> None:
+        if self.tracer is not None:
+            self.tracer.queued(request)
         if request.arrival_s > self._clock:
             heappush(
                 self._future, (request.arrival_s, self._arrival_seq, request)
@@ -619,7 +658,13 @@ class SimulatedLLMEngine:
         after a failed run (e.g. a :class:`CapacityError` on an infeasible
         request) so the engine — and its warm cache — stay usable for the
         next job."""
-        n = len(self.scheduler.drain()) + len(self._future)
+        drained = self.scheduler.drain()
+        n = len(drained) + len(self._future)
+        if self.tracer is not None:
+            for req in drained:
+                self.tracer.dropped(req.request_id)
+            for _, _, req in self._future:
+                self.tracer.dropped(req.request_id)
         self._future.clear()
         self._admission_blocked = False
         return n
@@ -650,11 +695,26 @@ class SimulatedLLMEngine:
         # and its block pool — persist across runs.
         self._peak_blocks = 0
         self._frag_at_peak = 0
+        self._peak_waiting = 0
+        tracer = self.tracer
+        mark = tracer.mark() if tracer is not None else None
         if self.mode == "vector":
-            return self._run_event_vector()
-        if self.mode == "event":
-            return self._run_event()
-        return self._run_stepwise()
+            result = self._run_event_vector()
+        elif self.mode == "event":
+            result = self._run_event()
+        else:
+            result = self._run_stepwise()
+        if tracer is not None:
+            result.trace = tracer.collect(
+                mark,
+                meta={
+                    "scheduler": self.scheduler_name,
+                    "preemption": self.preemption,
+                    "mode": self.mode,
+                    "kv_accounting": self.kv_accounting,
+                },
+            )
+        return result
 
     # ----------------------------------------------------- stepwise oracle
     def _run_stepwise(self) -> EngineResult:
@@ -689,7 +749,10 @@ class SimulatedLLMEngine:
                     raise ServingError("admission stalled with empty batch")
                 if self._future:
                     # Idle engine: jump the clock to the next arrival.
-                    self._clock = max(self._clock, self._future[0][0])
+                    arrival = self._future[0][0]
+                    self._clock = max(self._clock, arrival)
+                    if self.tracer is not None:
+                        self.tracer.idle(arrival)
                     continue
                 break
             max_batch_seen = max(max_batch_seen, len(running))
@@ -706,6 +769,13 @@ class SimulatedLLMEngine:
             if not running:
                 continue
 
+            if self.tracer is not None:
+                # One canonical-clock advance per step; the recorder
+                # merges consecutive steps back into whole runs so its
+                # clock matches the event modes bit for bit.
+                self.tracer.decode(
+                    sum(r.context_len for r in running), len(running), 1
+                )
             dt = self.cost.decode_step_time([r.context_len for r in running])
             self._clock += dt
             decode_steps += 1
@@ -776,7 +846,10 @@ class SimulatedLLMEngine:
                     raise ServingError("admission stalled with empty batch")
                 if self._future:
                     # Idle engine: jump the clock to the next arrival.
-                    self._clock = max(self._clock, self._future[0][0])
+                    arrival = self._future[0][0]
+                    self._clock = max(self._clock, arrival)
+                    if self.tracer is not None:
+                        self.tracer.idle(arrival)
                     continue
                 break
             max_batch_seen = max(max_batch_seen, batch + len(wave))
@@ -861,6 +934,8 @@ class SimulatedLLMEngine:
                 steps = self._cap_steps_at_arrival(
                     context_sum, batch, steps, self._future[0][0]
                 )
+            if self.tracer is not None:
+                self.tracer.decode(context_sum, batch, steps)
             first_dt = self.cost.decode_run_time(context_sum, batch, 1)
             total_dt = (
                 first_dt
@@ -942,7 +1017,10 @@ class SimulatedLLMEngine:
                     if len(self.scheduler):
                         raise ServingError("admission stalled with empty batch")
                     if self._future:
-                        self._clock = max(self._clock, self._future[0][0])
+                        arrival = self._future[0][0]
+                        self._clock = max(self._clock, arrival)
+                        if self.tracer is not None:
+                            self.tracer.idle(arrival)
                         continue
                     break
                 max_batch_seen = max(max_batch_seen, batch + len(wave))
@@ -1007,6 +1085,8 @@ class SimulatedLLMEngine:
                     steps = self._cap_steps_at_arrival(
                         context_sum, batch, steps, self._future[0][0]
                     )
+                if self.tracer is not None:
+                    self.tracer.decode(context_sum, batch, steps)
                 first_dt = self.cost.decode_run_time(context_sum, batch, 1)
                 total_dt = (
                     first_dt
@@ -1058,6 +1138,7 @@ class SimulatedLLMEngine:
                 preempted_tokens_recomputed=int(vect.tok_rec[:n].sum()),
                 preempted_tokens_swapped=int(vect.tok_swap[:n].sum()),
                 n_prefill_chunks=int(vect.chunks[:n].sum()),
+                peak_waiting=self._peak_waiting,
             )
         finally:
             self._vstate = None
@@ -1096,6 +1177,7 @@ class SimulatedLLMEngine:
                 m.preempted_tokens_swapped for m in done
             ),
             n_prefill_chunks=sum(m.n_prefill_chunks for m in done),
+            peak_waiting=self._peak_waiting,
         )
 
     def _cap_steps_at_arrival(
@@ -1139,6 +1221,45 @@ class SimulatedLLMEngine:
                 self._frag_at_peak = charged * self.block_tokens - used
         return used
 
+    def _gauge_sample(self, running_now: int) -> tuple:
+        """Gauge fields for one admission-wave trace sample, as the
+        key-sorted pairs tuple :class:`~repro.llm.tracing.TraceGauge`
+        stores (built sorted so the recorder skips the per-wave dict and
+        sort). Every value is mode-invariant at admission boundaries: the
+        block figures use the *charged* total (allocated + reserved —
+        invariant to decode progress, unlike raw ``used_blocks``);
+        ``radix_store_bytes`` is the one backend-dependent field (the
+        stepwise oracle forces the scan/node backend) and is excluded
+        from the cross-mode equality suite accordingly."""
+        cache = self.cache
+        bm = self.blocks
+        head = ()
+        if bm is not None:
+            charged = bm.used_blocks + self._reserved_blocks
+            head = (
+                ("kv_blocks_charged", charged),
+                ("kv_blocks_free", bm.n_blocks - charged),
+                ("kv_parked_tokens", bm.parked_tokens),
+            )
+        body = (
+            ("kv_used_tokens", cache.total_tokens + self._private_tokens),
+            ("prefilling", len(self._prefilling)),
+            ("radix_nodes", cache.n_nodes),
+            ("radix_store_bytes", cache.token_store_bytes),
+            ("running", running_now),
+        )
+        if self._quota_on:
+            body += (
+                (
+                    "tenant_kv_blocks",
+                    tuple(
+                        (t, bm.tenant_used(t))
+                        for t in sorted(self.config.tenant_kv_quota_blocks)
+                    ),
+                ),
+            )
+        return head + body + (("waiting", len(self.scheduler)),)
+
     def _grow_tail(self, r: _Running, extra_tokens: int) -> None:
         """Grow a request's private tail allocation, consuming its
         admission-time block reservation as boundaries are crossed."""
@@ -1165,6 +1286,13 @@ class SimulatedLLMEngine:
         advance one chunk per admission point and join the batch when
         their last chunk settles."""
         self._release_arrivals()
+        if len(self.scheduler) > self._peak_waiting:
+            # Waiting depth only changes at admission points (arrivals
+            # released, pops, preemption resubmits), and the depth between
+            # common probe boundaries is monotone, so the per-run max is
+            # identical across replay modes despite the stepwise loop
+            # probing more often.
+            self._peak_waiting = len(self.scheduler)
         preempt_on = self.preemption != "off"
         # Members admitted at the previous admission point are decoding by
         # now in every replay mode — only now do they become viable
@@ -1280,15 +1408,26 @@ class SimulatedLLMEngine:
                             f"blocks; tenant {req.tenant!r} is capped at "
                             f"{quota} blocks"
                         )
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "quota-reject",
+                            request_id=req.request_id,
+                            tenant=req.tenant,
+                            need_blocks=need,
+                            quota_blocks=quota,
+                        )
                     self._admission_blocked = True
                     break
             while need > free:
                 if cache_on:
-                    free += cache.evict(
+                    freed = cache.evict(
                         need - free,
                         protected=self._protected_paths(running, req, hit),
                         unit=unit,
                     )
+                    free += freed
+                    if freed and self.tracer is not None:
+                        self.tracer.instant("evict", freed=freed, unit=unit)
                     if need <= free:
                         break
                 if preempt_on:
@@ -1334,12 +1473,19 @@ class SimulatedLLMEngine:
                 # tail (swap it back in, or re-prefill it) and rejoin the
                 # batch with decode progress intact.
                 del self._parked[req.request_id]
-                swap_in_tokens += self._readmit(parked, hit, new_prompt, wave)
+                swapped_in = self._readmit(parked, hit, new_prompt, wave)
+                swap_in_tokens += swapped_in
                 parked.quota_charge = quota_need
                 wave_members.append(parked)
                 running.append(parked)
                 self._pending_decode.append(parked)
                 n_admitted += 1
+                if self.tracer is not None:
+                    self.tracer.popped(
+                        req.request_id,
+                        "readmit",
+                        (("readmit", 1), ("swap_in_tokens", swapped_in)),
+                    )
                 continue
             if chunks is not None:
                 member = self._start_chunked(
@@ -1348,6 +1494,10 @@ class SimulatedLLMEngine:
                 )
                 member.quota_charge = quota_need
                 n_admitted += 1
+                if self.tracer is not None:
+                    self.tracer.popped(
+                        req.request_id, "chunk", (("n_chunks", len(chunks)),)
+                    )
                 continue
 
             pin = None
@@ -1409,16 +1559,22 @@ class SimulatedLLMEngine:
             if preempt_on:
                 self._pending_decode.append(member)
             n_admitted += 1
+            if self.tracer is not None:
+                self.tracer.popped(req.request_id, "fresh")
 
         if n_admitted:
             # One merged prefill pass for the whole admission wave: the
             # weight read amortizes across requests (continuous batching).
             # Per-request serving overhead is charged here too, and swap-in
             # traffic for re-admitted members rides the same wave.
-            self._clock += self.cost.prefill_wave_time(wave)
-            self._clock += self.cost.per_request_overhead_s * n_admitted
+            wave_dt = self.cost.prefill_wave_time(wave)
+            self._clock += wave_dt
+            overhead_dt = self.cost.per_request_overhead_s * n_admitted
+            self._clock += overhead_dt
+            swap_dt = 0.0
             if swap_in_tokens:
-                self._clock += self.cost.swap_time(swap_in_tokens)
+                swap_dt = self.cost.swap_time(swap_in_tokens)
+                self._clock += swap_dt
             vect = self._vstate
             if stamped:
                 if vect is not None:
@@ -1429,6 +1585,17 @@ class SimulatedLLMEngine:
                 else:
                     for member in stamped:
                         member.metrics.admitted_at_s = self._clock
+            if self.tracer is not None:
+                # The same charge deltas the engine just added, applied to
+                # the canonical clock — each is computed from
+                # mode-invariant integer wave entries, so they are bitwise
+                # equal across replay modes.
+                tracer = self.tracer
+                tracer.advance(wave_dt)
+                tracer.advance(overhead_dt)
+                if swap_dt:
+                    tracer.advance(swap_dt)
+                tracer.wave_end(self._gauge_sample(base + len(wave_members)))
 
     def _protected_paths(
         self, running: List[_Running], req: Request, hit: int
@@ -1459,11 +1626,19 @@ class SimulatedLLMEngine:
         wave: List[Tuple[int, int]] = []
         ready: List[_Running] = []
         still: List[_Running] = []
+        traced: Optional[List[Tuple[int, bool]]] = (
+            [] if self.tracer is not None else None
+        )
         for m in self._prefilling:
             wave.append(self._chunk_step(m))
             (still if m.chunks_left else ready).append(m)
+            if traced is not None:
+                traced.append((m.request.request_id, not m.chunks_left))
         self._prefilling = still
-        self._clock += self.cost.prefill_wave_time(wave)
+        chunk_dt = self.cost.prefill_wave_time(wave)
+        self._clock += chunk_dt
+        if traced is not None:
+            self.tracer.chunk_wave(chunk_dt, traced)
         bm = self.blocks
         cache_on = self.config.enable_prefix_cache
         vect = self._vstate
@@ -1758,10 +1933,16 @@ class SimulatedLLMEngine:
         if m.quota_charge and bm is not None:
             bm.uncharge_tenant(req.tenant, m.quota_charge)
             m.quota_charge = 0
+        swap_dt = 0.0
         if swap:
             # Swap-out traffic is charged immediately, before any further
             # admission work at this clock.
-            self._clock += self.cost.swap_time(target)
+            swap_dt = self.cost.swap_time(target)
+            self._clock += swap_dt
+        if self.tracer is not None:
+            self.tracer.preempt(
+                req.request_id, self.preemption, target, swap_dt
+            )
         self._parked[req.request_id] = m
         self.scheduler.submit(req)
 
@@ -1832,4 +2013,6 @@ class SimulatedLLMEngine:
             vect = self._vstate
             vect.out[r.idx] = r.decoded
             vect.finished[r.idx] = self._clock
+        if self.tracer is not None:
+            self.tracer.finished(r.request.request_id)
         self._admission_blocked = False

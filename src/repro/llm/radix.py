@@ -376,20 +376,25 @@ class RadixPrefixCache:
         return out
 
     # --------------------------------------------------------------- stats
+    @property
+    def token_store_bytes(self) -> int:
+        """The backend's token-storage footprint in bytes (packed-edge
+        payload here; the flat backend reports its contiguous store
+        buffer). O(1) — the trace recorder samples it per admission wave."""
+        return self.total_tokens * _PACK_BYTES
+
     def stats(self) -> Dict[str, object]:
         """Operator telemetry snapshot. The counter fields (``nodes``,
         ``total_tokens``, ``hits``, ``misses``, ``evicted_tokens``,
         ``evicted_nodes``) are backend-independent — the equivalence
         suites compare them with ``==`` across backends;
-        ``token_store_bytes`` is the backend's own token-storage footprint
-        (packed-edge payload here, the contiguous store buffer in the flat
-        backend)."""
+        ``token_store_bytes`` is backend-specific (see the property)."""
         return {
             "backend": self.backend,
             "eviction": self.eviction,
             "nodes": self.n_nodes,
             "total_tokens": self.total_tokens,
-            "token_store_bytes": self.total_tokens * _PACK_BYTES,
+            "token_store_bytes": self.token_store_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "evicted_tokens": self.evicted_tokens,
@@ -1570,10 +1575,9 @@ class _FlatRadixCache(RadixPrefixCache):
         return freed_blocks if unit == "blocks" else k
 
     # --------------------------------------------------------------- stats
-    def stats(self) -> Dict[str, object]:
-        out = super().stats()
-        out["token_store_bytes"] = int(self._store.nbytes)
-        return out
+    @property
+    def token_store_bytes(self) -> int:
+        return int(self._store.nbytes)
 
     # ---------------------------------------------------------- invariants
     def check_invariants(self) -> None:

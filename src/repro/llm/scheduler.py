@@ -123,6 +123,15 @@ class SchedulerPolicy:
 
     name = "base"
 
+    #: Bound :class:`~repro.llm.tracing.TraceRecorder`, or None (the
+    #: default): policies with observable scheduling decisions (the
+    #: deadline policy's late-request sheds) emit instant events into it.
+    _tracer = None
+
+    def bind_tracer(self, tracer) -> None:
+        """Give the policy the engine's trace recorder (None disables)."""
+        self._tracer = tracer
+
     def submit(self, request: Request) -> None:
         raise NotImplementedError
 
@@ -406,6 +415,17 @@ class DeadlinePolicy(SchedulerPolicy):
         self.deadline_s = deadline_s
         self._pool: List[Tuple[int, Request]] = []  # (submit seq, request)
         self._seq = 0
+        #: Requests already reported as shed to the trace recorder — one
+        #: instant per request lifetime, however many selects see it late.
+        self._shed_ids: set = set()
+        #: Shed detection off the selection scan: explicit-deadline
+        #: waiters land on this (deadline, seq, request) min-heap at
+        #: submit (only while a tracer is bound) and :meth:`select`
+        #: drains the expired prefix — O(sheds log n) total instead of a
+        #: per-member branch on every scan, keeping the traced scan the
+        #: same shape as the untraced one.
+        self._shed_heap: List[Tuple[float, int, Request]] = []
+        self._pooled: set = set()  # request ids currently waiting
 
     def deadline_of(self, request: Request) -> float:
         """Absolute deadline of ``request`` (arrival + relative SLO)."""
@@ -424,11 +444,40 @@ class DeadlinePolicy(SchedulerPolicy):
 
     def submit(self, request: Request) -> None:
         self._pool.append((self._seq, request))
+        if self._tracer is not None:
+            self._pooled.add(request.request_id)
+            if getattr(request, "deadline_s", None) is not None:
+                heappush(
+                    self._shed_heap,
+                    (self.deadline_of(request), self._seq, request),
+                )
         self._seq += 1
+
+    def _drain_sheds(self, now: float) -> None:
+        """Report every explicit deadline that expired while its request
+        was still waiting: the shed decision itself, recorded at the
+        first select that sees it late. Selection order is untouched (the
+        instant only records it), and the seen-set keeps resubmitted
+        (preempted) requests from re-reporting."""
+        heap = self._shed_heap
+        while heap and heap[0][0] < now:
+            deadline, _, req = heappop(heap)
+            rid = req.request_id
+            if rid in self._pooled and rid not in self._shed_ids:
+                self._shed_ids.add(rid)
+                self._tracer.instant(
+                    "shed",
+                    request_id=rid,
+                    tenant=req.tenant,
+                    deadline_s=deadline,
+                )
 
     def select(self, cache=None, now: float = 0.0) -> Optional[Request]:
         if not self._pool:
             return None
+        heap = self._shed_heap
+        if heap and heap[0][0] < now and self._tracer is not None:
+            self._drain_sheds(now)
         best = None
         best_key: Optional[Tuple[int, float, int]] = None
         for seq, req in self._pool:
@@ -441,6 +490,7 @@ class DeadlinePolicy(SchedulerPolicy):
         for i, (_, req) in enumerate(self._pool):
             if req is request:
                 del self._pool[i]
+                self._pooled.discard(request.request_id)
                 return
         raise ServingError("pop of a request not in the pool")
 

@@ -19,6 +19,7 @@ from repro.llm.engine import EngineConfig
 from repro.llm.hardware import CLUSTER_1XL4, Cluster
 from repro.llm.models import LLAMA3_8B, ModelSpec
 from repro.llm.scheduler import SLOReport
+from repro.llm.tracing import write_trace
 from repro.llm.workload import WorkloadTrace
 
 
@@ -52,6 +53,10 @@ class JobStats:
     preempted_tokens_recomputed: int = 0
     preempted_tokens_swapped: int = 0
     n_prefill_chunks: int = 0
+    #: Lifecycle trace(s) of the job, as named export tracks — one
+    #: ``(label, EngineTrace)`` per engine (single-engine jobs) or per
+    #: replica (cluster jobs). Empty unless tracing was enabled.
+    trace_tracks: List = field(default_factory=list)
 
     @property
     def p95_ttft_s(self) -> float:
@@ -167,6 +172,9 @@ class BatchInferenceServer:
                 preempted_tokens_recomputed=er.preempted_tokens_recomputed,
                 preempted_tokens_swapped=er.preempted_tokens_swapped,
                 n_prefill_chunks=er.n_prefill_chunks,
+                trace_tracks=(
+                    [(job_id, er.trace)] if er.trace is not None else []
+                ),
             )
         )
         return result
@@ -214,6 +222,9 @@ class BatchInferenceServer:
                 preempted_tokens_recomputed=er.preempted_tokens_recomputed,
                 preempted_tokens_swapped=er.preempted_tokens_swapped,
                 n_prefill_chunks=er.n_prefill_chunks,
+                trace_tracks=(
+                    [(job_id, er.trace)] if er.trace is not None else []
+                ),
             )
         )
         return result
@@ -265,9 +276,25 @@ class BatchInferenceServer:
                 preempted_tokens_recomputed=result.preempted_tokens_recomputed,
                 preempted_tokens_swapped=result.preempted_tokens_swapped,
                 n_prefill_chunks=result.n_prefill_chunks,
+                trace_tracks=[
+                    (f"{job_id}/{label}", tr)
+                    for label, tr in result.trace_tracks()
+                ],
             )
         )
         return result
+
+    def export_trace(self, job_id: str, path: str) -> None:
+        """Write one job's lifecycle trace (Chrome trace-event JSON, or
+        JSONL for a ``.jsonl`` path). Raises :class:`ServingError` when
+        the job recorded no trace (tracing off)."""
+        job = self.job(job_id)
+        if not job.trace_tracks:
+            raise ServingError(
+                f"job {job_id!r} has no trace — enable tracing "
+                f"(EngineConfig.trace='on' or REPRO_SERVING_TRACE=1)"
+            )
+        write_trace(job.trace_tracks, path)
 
     def slo_report(self, job_id: str) -> str:
         """Per-tenant SLO table for one job (trace or batch)."""
